@@ -1,0 +1,269 @@
+//! Deterministic cosine k-means with k-means++ seeding.
+//!
+//! This is the clustering method the paper adopts (appendix §C). The
+//! distance is `1 − cosine(x, centroid)`; centroids are the (renormalised)
+//! mean of member vectors. All randomness flows from the caller-supplied
+//! seed, so experiments are reproducible run-to-run.
+//!
+//! Robustness details that matter for the workloads here:
+//!
+//! * **k-means++ seeding** — the top-30 result lists the paper expands
+//!   contain minority senses (one apple-fruit result among 29 Apple-Inc
+//!   results); D²-weighted seeding makes it likely that such outliers get
+//!   their own initial centre, which is precisely the behaviour the paper's
+//!   motivating example requires.
+//! * **Empty-cluster handling** — an emptied cluster is reseeded with the
+//!   point farthest from its current centroid, keeping `k` effective until
+//!   convergence (the assignment later drops genuinely empty clusters).
+//! * **Zero vectors** — results with no terms (possible in adversarial
+//!   tests) have undefined cosine; they are assigned to cluster 0.
+
+use crate::assign::ClusterAssignment;
+use crate::vector::{cosine_similarity, SparseVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Upper bound on the number of clusters (the paper's user-specified
+    /// granularity `k`).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed (seeding + tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            max_iters: 50,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Runs cosine k-means over `vectors`, returning a compacted assignment.
+///
+/// When `vectors.len() <= k`, every item gets its own cluster (matching the
+/// paper's treatment of k as an upper bound on granularity).
+pub fn kmeans(vectors: &[SparseVec], config: &KMeansConfig) -> ClusterAssignment {
+    let n = vectors.len();
+    if n == 0 {
+        return ClusterAssignment::from_membership(&[]);
+    }
+    let k = config.k.max(1);
+    if n <= k {
+        let membership: Vec<u32> = (0..n as u32).collect();
+        return ClusterAssignment::from_membership(&membership);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = seed_plus_plus(vectors, k, &mut rng);
+    let mut membership = vec![0u32; n];
+
+    for _ in 0..config.max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let best = nearest_centroid(v, &centroids);
+            if membership[i] != best {
+                membership[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update step: centroid = normalised mean of members.
+        let mut sums: Vec<SparseVec> = vec![SparseVec::zero(); k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            sums[membership[i] as usize].add_assign(v);
+            counts[membership[i] as usize] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an empty cluster with the point least similar to
+                // its current assignment's centroid.
+                let farthest = (0..n)
+                    .min_by(|&a, &b| {
+                        let sa = cosine_similarity(&vectors[a], &centroids[membership[a] as usize]);
+                        let sb = cosine_similarity(&vectors[b], &centroids[membership[b] as usize]);
+                        sa.partial_cmp(&sb).expect("similarities are finite")
+                    })
+                    .expect("n > 0");
+                centroids[c] = vectors[farthest].clone();
+                membership[farthest] = c as u32;
+                changed = true;
+            } else {
+                let mut mean = sums[c].clone();
+                mean.scale(1.0 / counts[c] as f64);
+                centroids[c] = mean;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    ClusterAssignment::from_membership(&membership)
+}
+
+/// Index of the centroid most cosine-similar to `v`; ties break on lower
+/// index. Zero vectors go to centroid 0.
+fn nearest_centroid(v: &SparseVec, centroids: &[SparseVec]) -> u32 {
+    if v.is_zero() {
+        return 0;
+    }
+    let mut best = 0u32;
+    let mut best_sim = -1.0;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let sim = cosine_similarity(v, centroid);
+        if sim > best_sim {
+            best_sim = sim;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding with cosine distance `1 − sim`.
+fn seed_plus_plus(vectors: &[SparseVec], k: usize, rng: &mut StdRng) -> Vec<SparseVec> {
+    let n = vectors.len();
+    let first = rng.gen_range(0..n);
+    let mut centroids: Vec<SparseVec> = vec![vectors[first].clone()];
+    let mut min_dist: Vec<f64> = vectors
+        .iter()
+        .map(|v| 1.0 - cosine_similarity(v, &centroids[0]))
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = min_dist.iter().map(|d| d * d).sum();
+        let chosen = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, d) in min_dist.iter().enumerate() {
+                target -= d * d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(vectors[chosen].clone());
+        for (i, v) in vectors.iter().enumerate() {
+            let d = 1.0 - cosine_similarity(v, centroids.last().expect("just pushed"));
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(entries: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_entries(entries.to_vec())
+    }
+
+    /// Two well-separated groups on disjoint dimensions.
+    fn two_blobs() -> Vec<SparseVec> {
+        let mut out = Vec::new();
+        for i in 0..10 {
+            out.push(v(&[(0, 5.0 + i as f64 * 0.1), (1, 1.0)]));
+        }
+        for i in 0..10 {
+            out.push(v(&[(10, 3.0 + i as f64 * 0.1), (11, 2.0)]));
+        }
+        out
+    }
+
+    #[test]
+    fn separates_disjoint_blobs() {
+        let vectors = two_blobs();
+        let a = kmeans(&vectors, &KMeansConfig { k: 2, ..Default::default() });
+        assert_eq!(a.num_clusters(), 2);
+        // All of the first 10 share a cluster; all of the last 10 the other.
+        let c0 = a.cluster_of(0);
+        assert!((0..10).all(|i| a.cluster_of(i) == c0));
+        let c1 = a.cluster_of(10);
+        assert!((10..20).all(|i| a.cluster_of(i) == c1));
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vectors = two_blobs();
+        let cfg = KMeansConfig { k: 3, seed: 42, ..Default::default() };
+        let a = kmeans(&vectors, &cfg);
+        let b = kmeans(&vectors, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn n_leq_k_gives_singletons() {
+        let vectors = vec![v(&[(0, 1.0)]), v(&[(1, 1.0)]), v(&[(2, 1.0)])];
+        let a = kmeans(&vectors, &KMeansConfig { k: 5, ..Default::default() });
+        assert_eq!(a.num_clusters(), 3);
+        assert_eq!(a.num_items(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = kmeans(&[], &KMeansConfig::default());
+        assert_eq!(a.num_items(), 0);
+    }
+
+    #[test]
+    fn outlier_gets_own_cluster() {
+        // 19 near-identical vectors plus one on orthogonal dimensions — the
+        // paper's "one apple-fruit result in the top 30" situation.
+        let mut vectors: Vec<SparseVec> = (0..19)
+            .map(|i| v(&[(0, 10.0 + (i % 3) as f64), (1, 5.0)]))
+            .collect();
+        vectors.push(v(&[(50, 4.0), (51, 4.0)]));
+        let a = kmeans(&vectors, &KMeansConfig { k: 2, seed: 7, ..Default::default() });
+        assert_eq!(a.num_clusters(), 2);
+        let outlier_cluster = a.cluster_of(19);
+        let member_count = (0..20)
+            .filter(|&i| a.cluster_of(i) == outlier_cluster)
+            .count();
+        assert_eq!(member_count, 1, "outlier isolated in its own cluster");
+    }
+
+    #[test]
+    fn zero_vectors_do_not_panic() {
+        let vectors = vec![SparseVec::zero(), v(&[(0, 1.0)]), v(&[(5, 2.0)]), SparseVec::zero()];
+        let a = kmeans(&vectors, &KMeansConfig { k: 2, ..Default::default() });
+        assert_eq!(a.num_items(), 4);
+    }
+
+    #[test]
+    fn membership_covers_all_items_exactly_once() {
+        let vectors = two_blobs();
+        let a = kmeans(&vectors, &KMeansConfig { k: 4, seed: 3, ..Default::default() });
+        let mut seen: Vec<u32> = a.iter_clusters().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..vectors.len() as u32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn at_most_k_clusters() {
+        let vectors = two_blobs();
+        for k in 1..6 {
+            let a = kmeans(&vectors, &KMeansConfig { k, seed: 11, ..Default::default() });
+            assert!(a.num_clusters() <= k, "k={k} produced {}", a.num_clusters());
+            assert!(a.num_clusters() >= 1);
+        }
+    }
+}

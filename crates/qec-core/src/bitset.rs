@@ -1,0 +1,366 @@
+//! Dense bitsets over the result arena.
+//!
+//! Every set the expansion algorithms manipulate — the cluster `C`, the
+//! universe `U`, a query's result set `R(q)`, a keyword's elimination set
+//! `E(k)`, delta results — is a subset of the *arena*: the (≤ a few hundred,
+//! per the paper's top-30/top-500 workloads) results of the original user
+//! query. A fixed-width bitset makes ISKR's inner loop (intersections and
+//! weighted sums over these sets) word-parallel, which is what keeps the
+//! "maintain only affected keywords" optimisation of §3 profitable.
+
+/// A fixed-universe bitset; all operands of a binary operation must share
+/// the same universe size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultSet {
+    words: Vec<u64>,
+    /// Size of the universe (number of addressable bits).
+    universe: usize,
+}
+
+impl ResultSet {
+    /// The empty set over a universe of `universe` results.
+    pub fn empty(universe: usize) -> Self {
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// The full set `{0, …, universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let remaining = universe - i * 64;
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+        s
+    }
+
+    /// Builds from explicit member indices (must be `< universe`).
+    pub fn from_indices(universe: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(universe);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds `i` to the set.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.universe, "index {i} out of universe {}", self.universe);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i` from the set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.universe);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.universe);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn and(&self, other: &ResultSet) -> ResultSet {
+        self.check(other);
+        ResultSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn or(&self, other: &ResultSet) -> ResultSet {
+        self.check(other);
+        ResultSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// `self \ other` as a new set.
+    pub fn and_not(&self, other: &ResultSet) -> ResultSet {
+        self.check(other);
+        ResultSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn and_assign(&mut self, other: &ResultSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn or_assign(&mut self, other: &ResultSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place `self \= other`.
+    pub fn and_not_assign(&mut self, other: &ResultSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_len(&self, other: &ResultSet) -> usize {
+        self.check(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ∩ other` is non-empty, short-circuiting.
+    pub fn intersects(&self, other: &ResultSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &ResultSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Sum of `weights[i]` over members `i`. `weights.len()` must equal the
+    /// universe size. This is the paper's `S(·)` on a result set.
+    pub fn weighted_sum(&self, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.universe);
+        let mut acc = 0.0;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                acc += weights[wi * 64 + bit];
+                w &= w - 1;
+            }
+        }
+        acc
+    }
+
+    /// Sum of `weights[i]` over members of `self ∩ other`, fused to avoid a
+    /// temporary (ISKR's hottest operation: `S(R(q) ∩ C ∩ E(k))`).
+    pub fn weighted_intersection_sum(&self, other: &ResultSet, weights: &[f64]) -> f64 {
+        self.check(other);
+        debug_assert_eq!(weights.len(), self.universe);
+        let mut acc = 0.0;
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a & b;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                acc += weights[wi * 64 + bit];
+                w &= w - 1;
+            }
+        }
+        acc
+    }
+
+    /// Iterates over member indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            BitIter { word, base: wi * 64 }
+        })
+    }
+
+    /// Members collected into a vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    #[inline]
+    fn check(&self, other: &ResultSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "bitset universe mismatch: {} vs {}",
+            self.universe, other.universe
+        );
+    }
+}
+
+/// Iterator over the set bits of one word.
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = ResultSet::empty(70);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        let f = ResultSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert!(f.contains(0) && f.contains(69));
+        // No stray bits beyond the universe.
+        assert_eq!(f.iter().max(), Some(69));
+    }
+
+    #[test]
+    fn full_at_word_boundaries() {
+        for n in [0, 1, 63, 64, 65, 127, 128, 129] {
+            let f = ResultSet::full(n);
+            assert_eq!(f.len(), n, "universe {n}");
+            assert_eq!(f.iter().count(), n);
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ResultSet::empty(100);
+        s.insert(0);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ResultSet::from_indices(10, [1, 2, 3, 7]);
+        let b = ResultSet::from_indices(10, [2, 3, 4]);
+        assert_eq!(a.and(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.or(&b).to_vec(), vec![1, 2, 3, 4, 7]);
+        assert_eq!(a.and_not(&b).to_vec(), vec![1, 7]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn in_place_variants_match_pure_ones() {
+        let a = ResultSet::from_indices(130, [0, 64, 128, 129]);
+        let b = ResultSet::from_indices(130, [64, 100, 129]);
+        let mut x = a.clone();
+        x.and_assign(&b);
+        assert_eq!(x, a.and(&b));
+        let mut y = a.clone();
+        y.or_assign(&b);
+        assert_eq!(y, a.or(&b));
+        let mut z = a.clone();
+        z.and_not_assign(&b);
+        assert_eq!(z, a.and_not(&b));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = ResultSet::from_indices(10, [1, 2]);
+        let b = ResultSet::from_indices(10, [1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(ResultSet::empty(10).is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn weighted_sum_matches_naive() {
+        let weights: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let s = ResultSet::from_indices(100, [0, 10, 63, 64, 99]);
+        let naive: f64 = s.iter().map(|i| weights[i]).sum();
+        assert!((s.weighted_sum(&weights) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_intersection_sum_fused() {
+        let weights: Vec<f64> = (0..70).map(|i| (i + 1) as f64).collect();
+        let a = ResultSet::from_indices(70, [0, 5, 65]);
+        let b = ResultSet::from_indices(70, [5, 65, 69]);
+        let fused = a.weighted_intersection_sum(&b, &weights);
+        let unfused = a.and(&b).weighted_sum(&weights);
+        assert!((fused - unfused).abs() < 1e-12);
+        assert!((fused - (6.0 + 66.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let s = ResultSet::from_indices(200, [150, 3, 64, 199, 0]);
+        assert_eq!(s.to_vec(), vec![0, 3, 64, 150, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mismatched_universes_panic() {
+        let a = ResultSet::empty(10);
+        let b = ResultSet::empty(11);
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    fn zero_universe() {
+        let s = ResultSet::empty(0);
+        assert_eq!(s.len(), 0);
+        assert_eq!(ResultSet::full(0).len(), 0);
+        assert_eq!(s.weighted_sum(&[]), 0.0);
+    }
+}

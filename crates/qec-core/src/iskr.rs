@@ -1,0 +1,366 @@
+//! Iterative Single-Keyword Refinement (paper §3, Algorithm 1).
+//!
+//! ISKR starts from the user query (which retrieves the whole arena) and
+//! greedily adds or removes one keyword per iteration:
+//!
+//! * the **value** of a move is its benefit/cost ratio —
+//!   for an *add* of `k`: `benefit = S(R(q) ∩ U ∩ E(k))`,
+//!   `cost = S(R(q) ∩ C ∩ E(k))` (precision gained vs recall lost);
+//!   for a *remove* of `k ∈ q`: with `D(k) = R(q\k) \ R(q)`,
+//!   `benefit = S(D ∩ C)`, `cost = S(D ∩ U)` (recall regained vs precision
+//!   lost);
+//! * the move with the highest value is applied while that value exceeds 1
+//!   (benefit strictly greater than cost);
+//! * after a move with delta results `D`, only keywords that are absent
+//!   from at least one result of `D` can have changed value (§3,
+//!   "Identifying Keywords with Affected Values"), i.e. keywords `k'` with
+//!   `E(k') ∩ D ≠ ∅`; only those are recomputed. This maintenance rule is
+//!   the efficiency difference between ISKR and the exact ΔF baseline
+//!   (`crate::fmeasure`), and the ablation bench measures it.
+//!
+//! Keyword *removal* matters (paper Example 3.2): a keyword that was the
+//! best first move can become strictly dominated once later keywords have
+//! taken over its eliminations; removing it then recovers recall for free.
+//!
+//! A value of ∞ (cost = 0, benefit > 0) is a free win and always taken
+//! first. Ties break on lower candidate id, making runs deterministic.
+
+use crate::bitset::ResultSet;
+use crate::metrics::QueryQuality;
+use crate::problem::{CandId, QecInstance};
+
+/// Configuration for [`iskr`].
+#[derive(Debug, Clone)]
+pub struct IskrConfig {
+    /// Hard cap on iterations (defensive; the value>1 rule terminates in
+    /// practice, but add/remove interplay has no formal termination proof).
+    pub max_iters: usize,
+    /// Allow removal moves (paper Example 3.2). Disabling this is the
+    /// "add-only" ablation.
+    pub allow_removal: bool,
+}
+
+impl Default for IskrConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 200,
+            allow_removal: true,
+        }
+    }
+}
+
+/// An expanded query: the candidates added to the user query, plus its
+/// quality against the instance's cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandedQuery {
+    /// Added candidate keywords, in ascending id order.
+    pub added: Vec<CandId>,
+    /// Precision/recall/F against the cluster.
+    pub quality: QueryQuality,
+}
+
+/// Per-candidate cached move valuation.
+#[derive(Debug, Clone, Copy)]
+struct MoveValue {
+    benefit: f64,
+    cost: f64,
+    value: f64,
+}
+
+impl MoveValue {
+    fn from_benefit_cost(benefit: f64, cost: f64) -> Self {
+        let value = if cost <= 0.0 {
+            if benefit > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            benefit / cost
+        };
+        Self {
+            benefit,
+            cost,
+            value,
+        }
+    }
+}
+
+/// Runs ISKR on one cluster instance.
+pub fn iskr(inst: &QecInstance<'_>, config: &IskrConfig) -> ExpandedQuery {
+    let arena = inst.arena;
+    let n_cands = arena.num_candidates();
+    let mut in_query = vec![false; n_cands];
+    let mut query: Vec<CandId> = Vec::new();
+    let mut r = ResultSet::full(arena.size());
+
+    // Initial valuation of every candidate (all are add moves).
+    let mut values: Vec<MoveValue> = (0..n_cands)
+        .map(|i| add_value(inst, &r, CandId(i as u32)))
+        .collect();
+
+    for _ in 0..config.max_iters {
+        // Best move by value; ties on lower id.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, mv) in values.iter().enumerate() {
+            if !config.allow_removal && in_query[i] {
+                continue;
+            }
+            // Skip no-op adds: a keyword containing every current result
+            // changes nothing even if its stale value says otherwise.
+            match best {
+                Some((_, bv)) if mv.value <= bv => {}
+                _ => {
+                    if mv.value > 1.0 {
+                        best = Some((i, mv.value));
+                    }
+                }
+            }
+        }
+        let Some((best_idx, _)) = best else { break };
+        let k = CandId(best_idx as u32);
+
+        // Apply the move and compute its delta results.
+        let delta: ResultSet;
+        if in_query[best_idx] {
+            // Remove k: results gained back.
+            let mut rest = query.clone();
+            rest.retain(|&c| c != k);
+            let r_without = arena.results_of(&rest);
+            delta = r_without.and_not(&r);
+            r = r_without;
+            query = rest;
+            in_query[best_idx] = false;
+        } else {
+            // Add k: results eliminated.
+            let contains = &arena.candidate(k).contains;
+            delta = r.and_not(contains);
+            r.and_assign(contains);
+            query.push(k);
+            in_query[best_idx] = true;
+            if delta.is_empty() {
+                // The keyword changed nothing (can only happen with a stale
+                // value); fix its value and continue.
+                values[best_idx] = MoveValue::from_benefit_cost(0.0, 0.0);
+                continue;
+            }
+        }
+
+        // Maintenance (§3): an *add* value can only change if the keyword
+        // is missing from at least one delta result, so those are the only
+        // ones recomputed — this is the paper's efficiency claim. Removal
+        // values of in-query keywords depend on the whole query, not just
+        // the delta (the paper's own Example 3.2 requires the removal value
+        // of "job" to refresh after a move whose delta "job" contains), so
+        // the handful of in-query keywords are always recomputed exactly.
+        for i in 0..n_cands {
+            let id = CandId(i as u32);
+            if in_query[i] {
+                values[i] = remove_value(inst, &r, &query, id);
+                continue;
+            }
+            let affected =
+                i == best_idx || !delta.is_subset_of(&arena.candidate(id).contains);
+            if affected {
+                values[i] = add_value(inst, &r, id);
+            }
+        }
+    }
+
+    query.sort_unstable();
+    ExpandedQuery {
+        quality: inst.quality_of(&r),
+        added: query,
+    }
+}
+
+/// Valuation of adding `k` to the current query with result set `r`.
+fn add_value(inst: &QecInstance<'_>, r: &ResultSet, k: CandId) -> MoveValue {
+    let contains = &inst.arena.candidate(k).contains;
+    // D = R(q) ∩ E(k) = R(q) \ contains(k).
+    let delta = r.and_not(contains);
+    let benefit = delta.weighted_intersection_sum(&inst.universe_set, &inst.arena.weights);
+    let cost = delta.weighted_intersection_sum(&inst.cluster, &inst.arena.weights);
+    MoveValue::from_benefit_cost(benefit, cost)
+}
+
+/// Valuation of removing `k` (currently in `query`) from the query with
+/// result set `r`.
+fn remove_value(
+    inst: &QecInstance<'_>,
+    r: &ResultSet,
+    query: &[CandId],
+    k: CandId,
+) -> MoveValue {
+    let mut rest: Vec<CandId> = query.to_vec();
+    rest.retain(|&c| c != k);
+    let r_without = inst.arena.results_of(&rest);
+    let delta = r_without.and_not(r);
+    let benefit = delta.weighted_intersection_sum(&inst.cluster, &inst.arena.weights);
+    let cost = delta.weighted_intersection_sum(&inst.universe_set, &inst.arena.weights);
+    MoveValue::from_benefit_cost(benefit, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Candidate, ExpansionArena};
+    use qec_text::TermId;
+
+    /// The paper's Example 3.1 arena (see `problem::tests::example_3_1` —
+    /// duplicated here because test modules are private per-module).
+    fn example_3_1() -> (ExpansionArena, ResultSet) {
+        let n = 18;
+        let r = |i: usize| i - 1;
+        let u = |i: usize| 7 + i;
+        let elim = |ce: &[usize], ue: &[usize]| -> ResultSet {
+            let mut e = ResultSet::empty(n);
+            for &i in ce {
+                e.insert(r(i));
+            }
+            for &i in ue {
+                e.insert(u(i));
+            }
+            e
+        };
+        let job = elim(&[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let store = elim(&[1, 2, 3, 4], &[1, 2, 3, 4, 9]);
+        let location = elim(&[2, 3, 4, 5], &[5, 6, 7, 8, 10]);
+        let fruit = elim(&[1, 2, 3], &[2, 3, 4]);
+        let full = ResultSet::full(n);
+        let candidates = vec![
+            Candidate { term: TermId(0), contains: full.and_not(&job) },
+            Candidate { term: TermId(1), contains: full.and_not(&store) },
+            Candidate { term: TermId(2), contains: full.and_not(&location) },
+            Candidate { term: TermId(3), contains: full.and_not(&fruit) },
+        ];
+        let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
+        let cluster = ResultSet::from_indices(n, 0..8);
+        (arena, cluster)
+    }
+
+    #[test]
+    fn reproduces_paper_examples_3_1_and_3_2() {
+        // The paper walks ISKR to q = {apple, store, location}: after
+        // adding job, store, location, the removal of job becomes
+        // beneficial (Example 3.2), and the final F-measure corresponds to
+        // retrieving {R6, R7, R8} ⊆ C and nothing of U — wait: the paper's
+        // narrative ends with q = {apple, store, location}, which retrieves
+        // C: {R6, R7, R8}, U: ∅ (precision 1, recall 3/8).
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        let out = iskr(&inst, &IskrConfig::default());
+        // store = cand 1, location = cand 2.
+        assert_eq!(out.added, vec![CandId(1), CandId(2)]);
+        assert_eq!(out.quality.precision, 1.0);
+        assert!((out.quality.recall - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_removal_job_stays() {
+        // The add-only ablation cannot drop "job", ending at
+        // q = {job, store, location} with recall 2/8.
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        let out = iskr(
+            &inst,
+            &IskrConfig { allow_removal: false, ..Default::default() },
+        );
+        assert!(out.added.contains(&CandId(0)), "job kept: {:?}", out.added);
+        assert_eq!(out.quality.precision, 1.0);
+        assert!((out.quality.recall - 2.0 / 8.0).abs() < 1e-12);
+        // Removal strictly improves the F-measure here.
+        let with_removal = iskr(&inst, &IskrConfig::default());
+        assert!(with_removal.quality.fmeasure > out.quality.fmeasure);
+    }
+
+    #[test]
+    fn no_candidates_returns_original_query() {
+        let arena = ExpansionArena::from_parts(vec![1.0; 4], vec![]);
+        let inst = QecInstance::from_members(&arena, [0, 1]);
+        let out = iskr(&inst, &IskrConfig::default());
+        assert!(out.added.is_empty());
+        // R = everything: precision 1/2, recall 1.
+        assert!((out.quality.precision - 0.5).abs() < 1e-12);
+        assert_eq!(out.quality.recall, 1.0);
+    }
+
+    #[test]
+    fn perfectly_separating_keyword_is_found() {
+        // One candidate exactly selects the cluster.
+        let n = 10;
+        let cluster: Vec<usize> = (0..4).collect();
+        let contains = ResultSet::from_indices(n, cluster.iter().copied());
+        let arena = ExpansionArena::from_parts(
+            vec![1.0; n],
+            vec![Candidate { term: TermId(0), contains }],
+        );
+        let inst = QecInstance::from_members(&arena, cluster);
+        let out = iskr(&inst, &IskrConfig::default());
+        assert_eq!(out.added, vec![CandId(0)]);
+        assert_eq!(out.quality.fmeasure, 1.0);
+    }
+
+    #[test]
+    fn harmful_keywords_are_not_added() {
+        // A keyword that only eliminates cluster results (benefit 0).
+        let n = 6;
+        let contains = ResultSet::from_indices(n, [3, 4, 5]); // eliminates C = {0,1,2}
+        let arena = ExpansionArena::from_parts(
+            vec![1.0; n],
+            vec![Candidate { term: TermId(0), contains }],
+        );
+        let inst = QecInstance::from_members(&arena, [0, 1, 2]);
+        let out = iskr(&inst, &IskrConfig::default());
+        assert!(out.added.is_empty());
+    }
+
+    #[test]
+    fn weighted_instance_prefers_high_rank_results() {
+        // Two candidates each keep half of C and kill all of U; C's first
+        // result is heavily weighted, so the winner is whichever keeps it.
+        let n = 6; // C = {0,1}, U = {2..6}
+        let keep0 = ResultSet::from_indices(n, [0]);
+        let keep1 = ResultSet::from_indices(n, [1]);
+        let weights = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let arena = ExpansionArena::from_parts(
+            weights,
+            vec![
+                Candidate { term: TermId(0), contains: keep0 },
+                Candidate { term: TermId(1), contains: keep1 },
+            ],
+        );
+        let inst = QecInstance::from_members(&arena, [0, 1]);
+        let out = iskr(&inst, &IskrConfig::default());
+        assert_eq!(out.added, vec![CandId(0)], "keeps the heavy result");
+    }
+
+    #[test]
+    fn terminates_under_iteration_cap() {
+        // Adversarial-ish instance with many overlapping candidates.
+        let n = 64;
+        let mut candidates = Vec::new();
+        for i in 0..32u32 {
+            let members: Vec<usize> = (0..n).filter(|&j| (j + i as usize) % 3 != 0).collect();
+            candidates.push(Candidate {
+                term: TermId(i),
+                contains: ResultSet::from_indices(n, members),
+            });
+        }
+        let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
+        let inst = QecInstance::from_members(&arena, (0..20).collect::<Vec<_>>());
+        let out = iskr(&inst, &IskrConfig { max_iters: 50, ..Default::default() });
+        // Sanity: produced a valid quality.
+        assert!(out.quality.fmeasure >= 0.0 && out.quality.fmeasure <= 1.0);
+    }
+
+    #[test]
+    fn result_set_consistency() {
+        // The reported quality must equal re-evaluating the added set.
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        let out = iskr(&inst, &IskrConfig::default());
+        let q = inst.quality_of_added(&out.added);
+        assert_eq!(q, out.quality);
+    }
+}

@@ -1,0 +1,169 @@
+//! Quality metrics from §2 of the paper.
+//!
+//! With a cluster `C` as ground truth and `R(q)` the results of an expanded
+//! query `q`, the paper defines (rank-weighted) precision, recall, and
+//! F-measure, and scores a whole set of expanded queries by the harmonic
+//! mean of their F-measures (Eq. 1). `S(·)` is the total ranking score of a
+//! result set; with uniform weights the weighted forms reduce to the
+//! ordinary set-cardinality forms.
+
+use crate::bitset::ResultSet;
+
+/// Precision, recall and F-measure of one expanded query against its
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryQuality {
+    /// `S(R ∩ C) / S(R)`; 0 when `R` is empty.
+    pub precision: f64,
+    /// `S(R ∩ C) / S(C)`; 0 when `C` is empty.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fmeasure: f64,
+}
+
+/// Computes weighted precision/recall/F of result set `r` against ground
+/// truth `c`, with `weights[i]` the ranking score of result `i`.
+///
+/// All three values are in `[0, 1]` provided weights are non-negative.
+pub fn query_quality(r: &ResultSet, c: &ResultSet, weights: &[f64]) -> QueryQuality {
+    let s_rc = r.weighted_intersection_sum(c, weights);
+    let s_r = r.weighted_sum(weights);
+    let s_c = c.weighted_sum(weights);
+    let precision = if s_r > 0.0 { s_rc / s_r } else { 0.0 };
+    let recall = if s_c > 0.0 { s_rc / s_c } else { 0.0 };
+    QueryQuality {
+        precision,
+        recall,
+        fmeasure: fmeasure(precision, recall),
+    }
+}
+
+/// Harmonic mean of precision and recall; 0 when `p + r = 0`.
+pub fn fmeasure(precision: f64, recall: f64) -> f64 {
+    if precision + recall <= 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Eq. 1: the overall score of a set of expanded queries — the harmonic
+/// mean of their F-measures. Returns 0 when any F-measure is 0 (the
+/// harmonic mean's defining property: one useless expanded query ruins the
+/// set) and 0 for an empty input.
+pub fn overall_score(fmeasures: &[f64]) -> f64 {
+    if fmeasures.is_empty() {
+        return 0.0;
+    }
+    if fmeasures.iter().any(|&f| f <= 0.0) {
+        return 0.0;
+    }
+    let n = fmeasures.len() as f64;
+    n / fmeasures.iter().map(|f| 1.0 / f).sum::<f64>()
+}
+
+/// Uniform weights helper: `S(·)` becomes plain cardinality.
+pub fn uniform_weights(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: usize, idx: &[usize]) -> ResultSet {
+        ResultSet::from_indices(universe, idx.iter().copied())
+    }
+
+    #[test]
+    fn perfect_retrieval() {
+        let c = set(10, &[0, 1, 2]);
+        let w = uniform_weights(10);
+        let q = query_quality(&c, &c, &w);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.fmeasure, 1.0);
+    }
+
+    #[test]
+    fn paper_example_3_1_initial_state() {
+        // Example 3.1: |C| = 8, |U| = 10, q retrieves everything.
+        // precision = 8/18, recall = 1.
+        let universe = 18;
+        let c = set(universe, &(0..8).collect::<Vec<_>>());
+        let r = ResultSet::full(universe);
+        let w = uniform_weights(universe);
+        let q = query_quality(&r, &c, &w);
+        assert!((q.precision - 8.0 / 18.0).abs() < 1e-12);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn disjoint_retrieval_scores_zero() {
+        let c = set(10, &[0, 1]);
+        let r = set(10, &[5, 6]);
+        let w = uniform_weights(10);
+        let q = query_quality(&r, &c, &w);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.fmeasure, 0.0);
+    }
+
+    #[test]
+    fn empty_result_set() {
+        let c = set(10, &[0, 1]);
+        let r = ResultSet::empty(10);
+        let q = query_quality(&r, &c, &uniform_weights(10));
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn weights_shift_precision() {
+        // R = {0, 1}; C = {0}. Uniform precision 1/2; weighting result 0
+        // three times heavier raises it to 3/4.
+        let c = set(2, &[0]);
+        let r = set(2, &[0, 1]);
+        let uniform = query_quality(&r, &c, &uniform_weights(2));
+        assert!((uniform.precision - 0.5).abs() < 1e-12);
+        let weighted = query_quality(&r, &c, &[3.0, 1.0]);
+        assert!((weighted.precision - 0.75).abs() < 1e-12);
+        assert_eq!(weighted.recall, 1.0);
+    }
+
+    #[test]
+    fn fmeasure_is_harmonic_mean() {
+        assert!((fmeasure(1.0, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fmeasure(0.0, 0.0), 0.0);
+        assert_eq!(fmeasure(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn overall_score_harmonic_mean() {
+        assert!((overall_score(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((overall_score(&[1.0, 0.5]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overall_score(&[0.8, 0.0]), 0.0);
+        assert_eq!(overall_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn overall_score_leq_min() {
+        let fs = [0.9, 0.5, 0.7];
+        let s = overall_score(&fs);
+        let min = fs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(s <= min + 1e-12);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn quality_values_bounded() {
+        // Randomish structured check: R partially overlaps C.
+        let c = set(100, &(0..40).collect::<Vec<_>>());
+        let r = set(100, &(20..70).collect::<Vec<_>>());
+        let w: Vec<f64> = (0..100).map(|i| 1.0 + (i % 7) as f64).collect();
+        let q = query_quality(&r, &c, &w);
+        for v in [q.precision, q.recall, q.fmeasure] {
+            assert!((0.0..=1.0).contains(&v), "{v} out of range");
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The QEC problem instance (paper Definitions 2.1 / 2.2).
+//!
+//! All expansion algorithms operate on an [`ExpansionArena`]: the ranked
+//! result list of the original user query, re-indexed densely as
+//! `0..arena_size`, together with
+//!
+//! * the ranking weight of each result (uniform when unranked), and
+//! * the **candidate keywords** — terms occurring in the results that may
+//!   be added to the query — each with the bitset of arena results that
+//!   *contain* it. A keyword's elimination set `E(k)` (results that do
+//!   *not* contain `k`) is the complement, realised as `and_not`.
+//!
+//! For one cluster, a [`QecInstance`] pairs the arena with the cluster
+//! bitset `C` and the out-of-cluster universe `U` (Definition 2.2: generate
+//! `q` maximising F-measure with `C` as ground truth).
+//!
+//! Candidate pruning follows the experimental setup (§C): "we consider the
+//! top-20% words in the results in terms of tfidf for query expansion";
+//! the fraction is configurable and 1.0 disables pruning.
+
+use crate::bitset::ResultSet;
+use crate::metrics::{query_quality, QueryQuality};
+use qec_index::{Corpus, DocId};
+use qec_text::TermId;
+
+/// Index of a candidate keyword within an [`ExpansionArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CandId(pub u32);
+
+impl CandId {
+    /// The id as a `usize` for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One candidate expansion keyword.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The underlying analysed term.
+    pub term: TermId,
+    /// Arena results containing the term. `E(k)` is the complement.
+    pub contains: ResultSet,
+}
+
+/// Configuration for candidate selection.
+#[derive(Debug, Clone)]
+pub struct ArenaConfig {
+    /// Keep this fraction of candidate terms, ranked by arena tf·idf
+    /// (paper: 0.2). Values ≥ 1.0 keep everything.
+    pub candidate_fraction: f64,
+    /// Always keep at least this many candidates regardless of fraction
+    /// (avoids starving tiny arenas).
+    pub min_candidates: usize,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        Self {
+            candidate_fraction: 0.2,
+            min_candidates: 32,
+        }
+    }
+}
+
+/// The shared context for expanding all clusters of one user query.
+#[derive(Debug, Clone)]
+pub struct ExpansionArena {
+    /// Arena index → original document.
+    pub docs: Vec<DocId>,
+    /// Ranking score of each arena result (the paper's `S`); uniform 1.0
+    /// when the caller has no ranking.
+    pub weights: Vec<f64>,
+    /// Candidate keywords, sorted by descending arena tf·idf.
+    pub candidates: Vec<Candidate>,
+}
+
+impl ExpansionArena {
+    /// Builds an arena from `docs` (the ranked results of the user query)
+    /// over `corpus`.
+    ///
+    /// `query_terms` are the original query's terms: they are excluded from
+    /// candidacy (they occur in every result under AND semantics, so their
+    /// elimination sets are empty). Terms contained in *all* arena results
+    /// are likewise excluded — adding them can never change `R(q)`.
+    pub fn build(
+        corpus: &Corpus,
+        docs: &[DocId],
+        weights: Option<&[f64]>,
+        query_terms: &[TermId],
+        config: &ArenaConfig,
+    ) -> Self {
+        let n = docs.len();
+        let weights = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), n, "one weight per arena result");
+                normalize_weights(w)
+            }
+            None => vec![1.0; n],
+        };
+
+        // term → contains bitset, accumulated over arena docs. Dense map by
+        // TermId would waste memory (vocab >> arena terms); a sorted-key
+        // accumulation via BTreeMap keeps iteration deterministic.
+        let mut contains: std::collections::BTreeMap<TermId, ResultSet> =
+            std::collections::BTreeMap::new();
+        let mut tfidf: std::collections::BTreeMap<TermId, f64> = std::collections::BTreeMap::new();
+        let index = corpus.index();
+        for (i, &doc) in docs.iter().enumerate() {
+            for &(term, tf) in corpus.doc_terms(doc) {
+                contains
+                    .entry(term)
+                    .or_insert_with(|| ResultSet::empty(n))
+                    .insert(i);
+                *tfidf.entry(term).or_insert(0.0) += tf as f64 * index.idf(term);
+            }
+        }
+
+        // Filter and rank candidates.
+        let mut ranked: Vec<(TermId, f64)> = contains
+            .iter()
+            .filter(|(term, set)| {
+                !query_terms.contains(term) && set.len() < n // not in all results
+            })
+            .map(|(&term, _)| (term, tfidf[&term]))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("tf-idf finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let keep = if config.candidate_fraction >= 1.0 {
+            ranked.len()
+        } else {
+            let frac = (ranked.len() as f64 * config.candidate_fraction).ceil() as usize;
+            frac.max(config.min_candidates).min(ranked.len())
+        };
+        ranked.truncate(keep);
+
+        let candidates: Vec<Candidate> = ranked
+            .into_iter()
+            .map(|(term, _)| Candidate {
+                term,
+                contains: contains.remove(&term).expect("ranked term present"),
+            })
+            .collect();
+
+        Self {
+            docs: docs.to_vec(),
+            weights,
+            candidates,
+        }
+    }
+
+    /// Builds an arena directly from per-candidate containment sets —
+    /// used by unit tests, property tests and synthetic benchmarks that
+    /// have no corpus.
+    pub fn from_parts(weights: Vec<f64>, candidates: Vec<Candidate>) -> Self {
+        let n = weights.len();
+        for c in &candidates {
+            assert_eq!(c.contains.universe(), n, "candidate universe mismatch");
+        }
+        Self {
+            docs: (0..n as u32).map(DocId).collect(),
+            weights,
+            candidates,
+        }
+    }
+
+    /// Number of results in the arena.
+    pub fn size(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of candidate keywords.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// All candidate ids.
+    pub fn candidate_ids(&self) -> impl Iterator<Item = CandId> {
+        (0..self.candidates.len() as u32).map(CandId)
+    }
+
+    /// The candidate for `id`.
+    #[inline]
+    pub fn candidate(&self, id: CandId) -> &Candidate {
+        &self.candidates[id.index()]
+    }
+
+    /// `R(uq ∪ added)`: results containing every added keyword. The
+    /// original query matches the whole arena by construction, so with no
+    /// additions this is the full set.
+    pub fn results_of(&self, added: &[CandId]) -> ResultSet {
+        let mut r = ResultSet::full(self.size());
+        for &c in added {
+            r.and_assign(&self.candidate(c).contains);
+        }
+        r
+    }
+}
+
+/// Scales weights so they sum to the arena size (keeps `S(·)` on the same
+/// numeric footing as cardinalities; pure cosmetics — every metric is a
+/// ratio of `S` values, so any positive scaling is equivalent).
+fn normalize_weights(w: &[f64]) -> Vec<f64> {
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0; w.len()];
+    }
+    let scale = w.len() as f64 / total;
+    w.iter().map(|&x| (x * scale).max(0.0)).collect()
+}
+
+/// One cluster's expansion problem (Definition 2.2).
+#[derive(Debug)]
+pub struct QecInstance<'a> {
+    /// Shared arena.
+    pub arena: &'a ExpansionArena,
+    /// The cluster `C` (ground truth).
+    pub cluster: ResultSet,
+    /// Everything else, `U`.
+    pub universe_set: ResultSet,
+}
+
+impl<'a> QecInstance<'a> {
+    /// Creates an instance; `U` is derived as the arena complement of `C`.
+    pub fn new(arena: &'a ExpansionArena, cluster: ResultSet) -> Self {
+        assert_eq!(cluster.universe(), arena.size(), "cluster universe mismatch");
+        let universe_set = ResultSet::full(arena.size()).and_not(&cluster);
+        Self {
+            arena,
+            cluster,
+            universe_set,
+        }
+    }
+
+    /// Creates an instance from cluster member indices.
+    pub fn from_members(arena: &'a ExpansionArena, members: impl IntoIterator<Item = usize>) -> Self {
+        Self::new(arena, ResultSet::from_indices(arena.size(), members))
+    }
+
+    /// Quality of result set `r` against this instance's cluster.
+    pub fn quality_of(&self, r: &ResultSet) -> QueryQuality {
+        query_quality(r, &self.cluster, &self.arena.weights)
+    }
+
+    /// Quality of the query formed by adding `added` to the user query.
+    pub fn quality_of_added(&self, added: &[CandId]) -> QueryQuality {
+        self.quality_of(&self.arena.results_of(added))
+    }
+
+    /// `S(X)` over the arena weights.
+    pub fn weight_of(&self, set: &ResultSet) -> f64 {
+        set.weighted_sum(&self.arena.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_index::{CorpusBuilder, DocumentSpec};
+
+    /// Builds the running example of the paper (Example 3.1): query
+    /// "apple", cluster of 8 results R1..R8, universe of 10 results
+    /// R'1..R'10, four candidate keywords with specified elimination sets.
+    pub(crate) fn example_3_1() -> (ExpansionArena, ResultSet) {
+        // Arena indices: 0..8 = R1..R8 (cluster), 8..18 = R'1..R'10.
+        let n = 18;
+        let r = |i: usize| i - 1; // paper R_i (1-based) → arena index
+        let u = |i: usize| 7 + i; // paper R'_i (1-based) → arena index
+
+        // E(k) per the paper's table; contains = complement.
+        let elim = |cluster_elim: &[usize], universe_elim: &[usize]| -> ResultSet {
+            let mut e = ResultSet::empty(n);
+            for &i in cluster_elim {
+                e.insert(r(i));
+            }
+            for &i in universe_elim {
+                e.insert(u(i));
+            }
+            e
+        };
+        let job = elim(&[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let store = elim(&[1, 2, 3, 4], &[1, 2, 3, 4, 9]);
+        let location = elim(&[2, 3, 4, 5], &[5, 6, 7, 8, 10]);
+        let fruit = elim(&[1, 2, 3], &[2, 3, 4]);
+
+        let full = ResultSet::full(n);
+        let candidates = vec![
+            Candidate { term: TermId(0), contains: full.and_not(&job) },
+            Candidate { term: TermId(1), contains: full.and_not(&store) },
+            Candidate { term: TermId(2), contains: full.and_not(&location) },
+            Candidate { term: TermId(3), contains: full.and_not(&fruit) },
+        ];
+        let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
+        let cluster = ResultSet::from_indices(n, 0..8);
+        (arena, cluster)
+    }
+
+    #[test]
+    fn example_3_1_initial_values_match_paper() {
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        // Initial benefit/cost from the paper's first table:
+        // job 8/6, store 5/4, location 5/4, fruit 3/3.
+        let r = arena.results_of(&[]);
+        let expected = [(8.0, 6.0), (5.0, 4.0), (5.0, 4.0), (3.0, 3.0)];
+        for (i, &(b, c)) in expected.iter().enumerate() {
+            let cand = arena.candidate(CandId(i as u32));
+            let elim = r.and_not(&cand.contains);
+            let benefit = inst.weight_of(&elim.and(&inst.universe_set));
+            let cost = inst.weight_of(&elim.and(&inst.cluster));
+            assert_eq!(benefit, b, "candidate {i} benefit");
+            assert_eq!(cost, c, "candidate {i} cost");
+        }
+    }
+
+    #[test]
+    fn results_of_intersects_contains() {
+        let (arena, _) = example_3_1();
+        // Adding "job" (cand 0) leaves C: {R7, R8}, U: {R'9, R'10}.
+        let r = arena.results_of(&[CandId(0)]);
+        assert_eq!(r.to_vec(), vec![6, 7, 16, 17]);
+    }
+
+    #[test]
+    fn instance_universe_is_complement() {
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster.clone());
+        assert_eq!(inst.universe_set.len(), 10);
+        assert!(!inst.universe_set.intersects(&cluster));
+        assert_eq!(inst.universe_set.len() + cluster.len(), arena.size());
+    }
+
+    #[test]
+    fn quality_of_added_full_query() {
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        // The paper's final answer q = {apple, store, location} retrieves
+        // R6, R7, R8 in C and nothing in U: precision 1, recall 3/8.
+        let q = inst.quality_of_added(&[CandId(1), CandId(2)]);
+        assert_eq!(q.precision, 1.0);
+        assert!((q.recall - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_build_from_corpus_excludes_query_terms_and_universal_terms() {
+        let mut b = CorpusBuilder::new();
+        let d0 = b.add_document(DocumentSpec::text("", "apple iphone store common"));
+        let d1 = b.add_document(DocumentSpec::text("", "apple fruit orchard common"));
+        let d2 = b.add_document(DocumentSpec::text("", "apple store location common"));
+        let corpus = b.build();
+        let apple = corpus.keyword_term("apple").unwrap();
+        let arena = ExpansionArena::build(
+            &corpus,
+            &[d0, d1, d2],
+            None,
+            &[apple],
+            &ArenaConfig { candidate_fraction: 1.0, min_candidates: 0 },
+        );
+        let names: Vec<&str> = arena
+            .candidates
+            .iter()
+            .map(|c| corpus.term_name(c.term))
+            .collect();
+        assert!(!names.contains(&"appl"), "query term excluded: {names:?}");
+        assert!(!names.contains(&"common"), "universal term excluded: {names:?}");
+        assert!(names.contains(&"store"));
+        assert!(names.contains(&"fruit"));
+    }
+
+    #[test]
+    fn arena_build_ranks_candidates_by_tfidf() {
+        let mut b = CorpusBuilder::new();
+        // "store" appears twice (df 2), "fruit" once (df 1, higher idf).
+        let d0 = b.add_document(DocumentSpec::text("", "apple store"));
+        let d1 = b.add_document(DocumentSpec::text("", "apple fruit fruit fruit"));
+        let d2 = b.add_document(DocumentSpec::text("", "apple store"));
+        let corpus = b.build();
+        let apple = corpus.keyword_term("apple").unwrap();
+        let arena = ExpansionArena::build(
+            &corpus,
+            &[d0, d1, d2],
+            None,
+            &[apple],
+            &ArenaConfig::default(),
+        );
+        // fruit: tf 3 × idf ln(3) > store: tf 2 × idf ln(1.5).
+        assert_eq!(corpus.term_name(arena.candidates[0].term), "fruit");
+    }
+
+    #[test]
+    fn candidate_fraction_prunes() {
+        let mut b = CorpusBuilder::new();
+        let docs: Vec<_> = (0..10)
+            .map(|i| {
+                b.add_document(DocumentSpec::text(
+                    "",
+                    &format!("seed word{i} extra{} bonus{}", i % 3, i % 5),
+                ))
+            })
+            .collect();
+        let corpus = b.build();
+        let seed = corpus.keyword_term("seed").unwrap();
+        let all = ExpansionArena::build(
+            &corpus,
+            &docs,
+            None,
+            &[seed],
+            &ArenaConfig { candidate_fraction: 1.0, min_candidates: 0 },
+        );
+        let pruned = ExpansionArena::build(
+            &corpus,
+            &docs,
+            None,
+            &[seed],
+            &ArenaConfig { candidate_fraction: 0.2, min_candidates: 1 },
+        );
+        assert!(pruned.num_candidates() < all.num_candidates());
+        assert!(pruned.num_candidates() >= 1);
+    }
+
+    #[test]
+    fn weights_normalized_to_arena_scale() {
+        let mut b = CorpusBuilder::new();
+        let d0 = b.add_document(DocumentSpec::text("", "x a"));
+        let d1 = b.add_document(DocumentSpec::text("", "x b"));
+        let corpus = b.build();
+        let x = corpus.keyword_term("x").unwrap();
+        let arena = ExpansionArena::build(
+            &corpus,
+            &[d0, d1],
+            Some(&[3.0, 1.0]),
+            &[x],
+            &ArenaConfig::default(),
+        );
+        let total: f64 = arena.weights.iter().sum();
+        assert!((total - 2.0).abs() < 1e-12);
+        assert!(arena.weights[0] > arena.weights[1]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Document store + corpus statistics.
+//!
+//! A [`Corpus`] owns the analyzer (and thus the shared term dictionary), the
+//! per-document term multisets, the inverted index, and per-document
+//! metadata. It is built once through [`CorpusBuilder`] and is immutable
+//! afterwards — every downstream component (clustering, expansion,
+//! benchmarks) reads from the same frozen corpus, which is what makes the
+//! whole pipeline deterministic.
+
+use crate::doc::{DocId, DocumentSpec, Feature};
+use crate::inverted::InvertedIndex;
+use qec_text::{Analyzer, AnalyzerConfig, TermId};
+
+/// Per-document stored metadata (original strings kept for display).
+#[derive(Debug, Clone)]
+pub struct StoredDoc {
+    /// Document title as supplied.
+    pub title: String,
+    /// Structured features as supplied.
+    pub features: Vec<Feature>,
+    /// Ground-truth label, if the generator attached one.
+    pub label: Option<u32>,
+    /// Total token count after analysis (document length).
+    pub len: u32,
+}
+
+/// Builder for [`Corpus`]. Documents receive dense ids in insertion order.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    analyzer: Analyzer,
+    docs: Vec<StoredDoc>,
+    doc_terms: Vec<Vec<(TermId, u32)>>,
+    index: InvertedIndex,
+}
+
+impl CorpusBuilder {
+    /// Builder with the default analysis pipeline (stemming + stopwords).
+    pub fn new() -> Self {
+        Self::with_analyzer_config(AnalyzerConfig::default())
+    }
+
+    /// Builder with an explicit analyzer configuration.
+    pub fn with_analyzer_config(config: AnalyzerConfig) -> Self {
+        Self {
+            analyzer: Analyzer::with_config(config),
+            docs: Vec::new(),
+            doc_terms: Vec::new(),
+            index: InvertedIndex::new(),
+        }
+    }
+
+    /// Adds a document and returns its id.
+    ///
+    /// Indexing covers: analysed title tokens, analysed body tokens, the
+    /// atomic composite token of each feature, and the analysed feature
+    /// value words (so `ipad` matches `product:name:iPad`).
+    pub fn add_document(&mut self, spec: DocumentSpec) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("too many documents"));
+        let mut terms: Vec<TermId> = Vec::new();
+        terms.extend(self.analyzer.analyze(&spec.title));
+        terms.extend(self.analyzer.analyze(&spec.body));
+        for feature in &spec.features {
+            terms.push(self.analyzer.intern_verbatim(&feature.composite_token()));
+            terms.extend(self.analyzer.analyze(&feature.value));
+            terms.extend(self.analyzer.analyze(&feature.attribute));
+        }
+        let len = terms.len() as u32;
+
+        // Multiset → sorted (term, tf) pairs.
+        terms.sort_unstable();
+        let mut counted: Vec<(TermId, u32)> = Vec::with_capacity(terms.len());
+        for term in terms {
+            match counted.last_mut() {
+                Some((last, tf)) if *last == term => *tf += 1,
+                _ => counted.push((term, 1)),
+            }
+        }
+
+        self.index.add_document(id, &counted);
+        self.doc_terms.push(counted);
+        self.docs.push(StoredDoc {
+            title: spec.title,
+            features: spec.features,
+            label: spec.label,
+            len,
+        });
+        id
+    }
+
+    /// Freezes the builder into an immutable [`Corpus`].
+    pub fn build(self) -> Corpus {
+        Corpus {
+            analyzer: self.analyzer,
+            docs: self.docs,
+            doc_terms: self.doc_terms,
+            index: self.index,
+        }
+    }
+}
+
+/// An immutable, fully indexed document collection.
+#[derive(Debug)]
+pub struct Corpus {
+    analyzer: Analyzer,
+    docs: Vec<StoredDoc>,
+    doc_terms: Vec<Vec<(TermId, u32)>>,
+    index: InvertedIndex,
+}
+
+impl Corpus {
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Vocabulary size (distinct analysed terms).
+    pub fn vocab_size(&self) -> usize {
+        self.analyzer.vocab_size()
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Stored metadata of `doc`.
+    pub fn doc(&self, doc: DocId) -> &StoredDoc {
+        &self.docs[doc.index()]
+    }
+
+    /// Sorted `(term, tf)` pairs of `doc`.
+    pub fn doc_terms(&self, doc: DocId) -> &[(TermId, u32)] {
+        &self.doc_terms[doc.index()]
+    }
+
+    /// Whether `doc` contains `term` — O(log #distinct-terms-of-doc).
+    pub fn doc_contains(&self, doc: DocId, term: TermId) -> bool {
+        self.doc_terms[doc.index()]
+            .binary_search_by_key(&term, |&(t, _)| t)
+            .is_ok()
+    }
+
+    /// Maps a raw query keyword to its analysed term id, if indexed.
+    pub fn keyword_term(&self, keyword: &str) -> Option<TermId> {
+        self.analyzer.lookup_keyword(keyword)
+    }
+
+    /// Maps a full keyword query (whitespace/comma separated) to term ids.
+    /// Unknown and stopword keywords are dropped, mirroring a search engine
+    /// that silently ignores non-matching terms.
+    pub fn query_terms(&self, query: &str) -> Vec<TermId> {
+        query
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|s| !s.is_empty())
+            .filter_map(|kw| self.keyword_term(kw))
+            .collect()
+    }
+
+    /// Human-readable name of a term.
+    pub fn term_name(&self, term: TermId) -> &str {
+        self.analyzer.dict().name_of(term)
+    }
+
+    /// All document ids.
+    pub fn all_docs(&self) -> impl Iterator<Item = DocId> + '_ {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+
+    /// Ground-truth label of `doc`, when present.
+    pub fn label(&self, doc: DocId) -> Option<u32> {
+        self.docs[doc.index()].label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::Feature;
+
+    fn small_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_document(DocumentSpec::text(
+            "Apple Inc",
+            "apple computers and the iphone store",
+        ));
+        b.add_document(DocumentSpec::text(
+            "Apple fruit",
+            "the apple is a fruit grown in orchards",
+        ));
+        b.add_document(
+            DocumentSpec::structured(
+                "Canon PowerShot",
+                vec![
+                    Feature::new("camera", "brand", "Canon"),
+                    Feature::new("camera", "category", "cameras"),
+                ],
+            )
+            .with_label(7),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut b = CorpusBuilder::new();
+        let d0 = b.add_document(DocumentSpec::text("a", "x"));
+        let d1 = b.add_document(DocumentSpec::text("b", "y"));
+        assert_eq!(d0, DocId(0));
+        assert_eq!(d1, DocId(1));
+        assert_eq!(b.build().num_docs(), 2);
+    }
+
+    #[test]
+    fn keyword_lookup_uses_same_analysis_as_documents() {
+        let c = small_corpus();
+        let apple = c.keyword_term("apples").expect("stemmed apple");
+        // Both apple documents must contain the stemmed term.
+        assert!(c.doc_contains(DocId(0), apple));
+        assert!(c.doc_contains(DocId(1), apple));
+        assert!(!c.doc_contains(DocId(2), apple));
+    }
+
+    #[test]
+    fn stopwords_are_not_indexed() {
+        let c = small_corpus();
+        assert_eq!(c.keyword_term("the"), None);
+    }
+
+    #[test]
+    fn features_index_composite_and_value_tokens() {
+        let c = small_corpus();
+        let canon = c.keyword_term("canon").unwrap();
+        assert!(c.doc_contains(DocId(2), canon));
+        // The composite token exists in the doc's term list.
+        let has_composite = c
+            .doc_terms(DocId(2))
+            .iter()
+            .any(|&(t, _)| c.term_name(t) == "camera:brand:canon");
+        assert!(has_composite);
+    }
+
+    #[test]
+    fn query_terms_splits_on_commas_and_whitespace() {
+        let c = small_corpus();
+        let terms = c.query_terms("Canon, cameras");
+        assert_eq!(terms.len(), 2);
+        let terms = c.query_terms("the of and");
+        assert!(terms.is_empty());
+    }
+
+    #[test]
+    fn doc_terms_are_sorted_with_tfs() {
+        let c = small_corpus();
+        for d in c.all_docs() {
+            let terms = c.doc_terms(d);
+            assert!(terms.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(terms.iter().all(|&(_, tf)| tf >= 1));
+        }
+    }
+
+    #[test]
+    fn label_passthrough() {
+        let c = small_corpus();
+        assert_eq!(c.label(DocId(0)), None);
+        assert_eq!(c.label(DocId(2)), Some(7));
+    }
+
+    #[test]
+    fn repeated_words_accumulate_tf() {
+        let mut b = CorpusBuilder::new();
+        let d = b.add_document(DocumentSpec::text("t", "java java java island"));
+        let c = b.build();
+        let java = c.keyword_term("java").unwrap();
+        assert_eq!(c.index().tf(java, d), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The inverted index: term → posting list.
+//!
+//! Posting lists are kept sorted by [`DocId`], which makes AND queries a
+//! linear intersection and OR queries a linear merge. Lists are built
+//! incrementally by [`crate::CorpusBuilder`]; documents are added in id
+//! order, so appends keep lists sorted without an explicit sort.
+
+use crate::doc::DocId;
+use qec_text::TermId;
+
+/// One entry of a posting list: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document containing the term.
+    pub doc: DocId,
+    /// Number of occurrences of the term in that document.
+    pub tf: u32,
+}
+
+/// Term → sorted posting list, keyed by dense [`TermId`].
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    lists: Vec<Vec<Posting>>,
+    num_docs: u32,
+    total_postings: u64,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document's term multiset. `terms` must be sorted by `TermId`
+    /// and deduplicated with per-term counts; `doc` ids must be added in
+    /// strictly increasing order (the corpus builder guarantees both).
+    pub fn add_document(&mut self, doc: DocId, terms: &[(TermId, u32)]) {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0].0 < w[1].0),
+            "terms must be sorted and unique"
+        );
+        for &(term, tf) in terms {
+            let idx = term.index();
+            if idx >= self.lists.len() {
+                self.lists.resize_with(idx + 1, Vec::new);
+            }
+            let list = &mut self.lists[idx];
+            debug_assert!(list.last().is_none_or(|p| p.doc < doc), "doc ids must increase");
+            list.push(Posting { doc, tf });
+            self.total_postings += 1;
+        }
+        self.num_docs = self.num_docs.max(doc.0 + 1);
+    }
+
+    /// The posting list for `term` (empty slice for unseen terms).
+    #[inline]
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.lists
+            .get(term.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Document frequency of `term`.
+    #[inline]
+    pub fn df(&self, term: TermId) -> u32 {
+        self.postings(term).len() as u32
+    }
+
+    /// Term frequency of `term` in `doc` (0 when absent). Binary search —
+    /// O(log df).
+    pub fn tf(&self, term: TermId, doc: DocId) -> u32 {
+        let list = self.postings(term);
+        match list.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => list[i].tf,
+            Err(_) => 0,
+        }
+    }
+
+    /// Whether `doc` contains `term`.
+    #[inline]
+    pub fn contains(&self, term: TermId, doc: DocId) -> bool {
+        self.tf(term, doc) > 0
+    }
+
+    /// Number of documents in the index.
+    #[inline]
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Number of distinct terms with at least one posting slot allocated.
+    pub fn num_terms(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of postings (index size metric).
+    pub fn total_postings(&self) -> u64 {
+        self.total_postings
+    }
+
+    /// Inverse document frequency with the standard `ln(N/df)` form.
+    /// Unseen terms get idf 0 (they retrieve nothing anyway).
+    pub fn idf(&self, term: TermId) -> f64 {
+        let df = self.df(term);
+        if df == 0 || self.num_docs == 0 {
+            return 0.0;
+        }
+        (self.num_docs as f64 / df as f64).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+    fn d(i: u32) -> DocId {
+        DocId(i)
+    }
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(d(0), &[(t(0), 2), (t(1), 1)]);
+        idx.add_document(d(1), &[(t(1), 3)]);
+        idx.add_document(d(2), &[(t(0), 1), (t(2), 5)]);
+        idx
+    }
+
+    #[test]
+    fn postings_are_sorted_by_doc() {
+        let idx = sample_index();
+        let p0 = idx.postings(t(0));
+        assert_eq!(p0.len(), 2);
+        assert_eq!(p0[0].doc, d(0));
+        assert_eq!(p0[1].doc, d(2));
+    }
+
+    #[test]
+    fn df_and_tf() {
+        let idx = sample_index();
+        assert_eq!(idx.df(t(0)), 2);
+        assert_eq!(idx.df(t(1)), 2);
+        assert_eq!(idx.df(t(2)), 1);
+        assert_eq!(idx.df(t(9)), 0);
+        assert_eq!(idx.tf(t(0), d(0)), 2);
+        assert_eq!(idx.tf(t(0), d(1)), 0);
+        assert_eq!(idx.tf(t(2), d(2)), 5);
+    }
+
+    #[test]
+    fn contains_matches_tf() {
+        let idx = sample_index();
+        assert!(idx.contains(t(1), d(1)));
+        assert!(!idx.contains(t(2), d(0)));
+        assert!(!idx.contains(t(42), d(0)));
+    }
+
+    #[test]
+    fn counts() {
+        let idx = sample_index();
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.total_postings(), 5);
+        assert_eq!(idx.num_terms(), 3);
+    }
+
+    #[test]
+    fn idf_is_monotone_in_rarity() {
+        let idx = sample_index();
+        // t2 (df=1) must have higher idf than t0 (df=2).
+        assert!(idx.idf(t(2)) > idx.idf(t(0)));
+        assert_eq!(idx.idf(t(9)), 0.0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = InvertedIndex::new();
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.postings(t(0)), &[]);
+        assert_eq!(idx.idf(t(0)), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Keyword-search substrate for the QEC reproduction.
+//!
+//! The paper assumes a keyword search engine over either text documents or
+//! structured data, where *"a result of a query is obtained by finding the
+//! data unit that contains all the query keywords"* (AND semantics, §2).
+//! This crate provides that engine:
+//!
+//! * [`doc`] — the document model: text documents ("a set of words") and
+//!   structured documents ("a set of `(entity:attribute:value)` features").
+//! * [`corpus`] — document store plus corpus statistics, built through a
+//!   shared [`qec_text::Analyzer`].
+//! * [`inverted`] — the inverted index (term → posting list).
+//! * [`search`] — boolean retrieval with AND and OR semantics.
+//! * [`rank`] — TF-IDF ranking and top-k selection.
+
+pub mod corpus;
+pub mod doc;
+pub mod inverted;
+pub mod rank;
+pub mod search;
+
+pub use corpus::{Corpus, CorpusBuilder};
+pub use doc::{DocId, DocumentSpec, Feature};
+pub use inverted::{InvertedIndex, Posting};
+pub use rank::{rank_and_query, Hit, TfIdfRanker};
+pub use search::{QuerySemantics, Searcher};

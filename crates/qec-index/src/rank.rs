@@ -1,0 +1,161 @@
+//! TF-IDF ranking and top-k selection.
+//!
+//! The paper ranks results "using tfidf of the keywords" (§C) before
+//! truncating to the top 30 for expansion. [`TfIdfRanker`] scores a document
+//! for a query as `Σ_t tf(t,d)·idf(t)` with a document-length normalisation
+//! (dividing by `ln(1+len)`) so long Wikipedia-style documents do not win on
+//! bulk alone. Ranking scores then become the *result weights* `S(·)` used
+//! by the weighted precision/recall of the expansion metrics.
+
+use crate::corpus::Corpus;
+use crate::doc::DocId;
+use crate::search::{QuerySemantics, Searcher};
+use qec_text::TermId;
+
+/// A retrieved document with its ranking score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The document.
+    pub doc: DocId,
+    /// TF-IDF score (≥ 0; higher ranks first).
+    pub score: f64,
+}
+
+/// TF-IDF scorer over a corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct TfIdfRanker<'c> {
+    corpus: &'c Corpus,
+}
+
+impl<'c> TfIdfRanker<'c> {
+    /// Creates a ranker over `corpus`.
+    pub fn new(corpus: &'c Corpus) -> Self {
+        Self { corpus }
+    }
+
+    /// Scores one document for `terms`.
+    pub fn score(&self, doc: DocId, terms: &[TermId]) -> f64 {
+        let index = self.corpus.index();
+        let raw: f64 = terms
+            .iter()
+            .map(|&t| index.tf(t, doc) as f64 * index.idf(t))
+            .sum();
+        let len = self.corpus.doc(doc).len.max(1) as f64;
+        raw / (1.0 + len).ln().max(1.0)
+    }
+
+    /// Ranks `docs` for `terms`, highest score first. Ties break by `DocId`
+    /// so output is deterministic.
+    pub fn rank(&self, docs: &[DocId], terms: &[TermId]) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = docs
+            .iter()
+            .map(|&doc| Hit {
+                doc,
+                score: self.score(doc, terms),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("tf-idf scores are finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        hits
+    }
+
+    /// Ranks and truncates to the best `k`.
+    pub fn top_k(&self, docs: &[DocId], terms: &[TermId], k: usize) -> Vec<Hit> {
+        let mut hits = self.rank(docs, terms);
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// One-call helper: AND-retrieve `query` and return ranked hits (all of
+/// them; truncate at the call site if needed).
+pub fn rank_and_query(corpus: &Corpus, query: &str) -> Vec<Hit> {
+    let terms = corpus.query_terms(query);
+    let docs = Searcher::new(corpus).search(&terms, QuerySemantics::And);
+    TfIdfRanker::new(corpus).rank(&docs, &terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::doc::DocumentSpec;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_document(DocumentSpec::text("d0", "java island java java"));
+        b.add_document(DocumentSpec::text("d1", "java programming"));
+        b.add_document(DocumentSpec::text("d2", "island holiday beach"));
+        b.add_document(DocumentSpec::text("d3", "coffee java island trip"));
+        b.build()
+    }
+
+    #[test]
+    fn higher_tf_ranks_higher() {
+        let c = corpus();
+        let java = c.keyword_term("java").unwrap();
+        let r = TfIdfRanker::new(&c);
+        let docs: Vec<DocId> = Searcher::new(&c).and_query(&[java]);
+        let hits = r.rank(&docs, &[java]);
+        assert_eq!(hits[0].doc, DocId(0), "doc with tf=3 first");
+    }
+
+    #[test]
+    fn scores_are_nonnegative_and_zero_for_nonmatching() {
+        let c = corpus();
+        let java = c.keyword_term("java").unwrap();
+        let r = TfIdfRanker::new(&c);
+        assert_eq!(r.score(DocId(2), &[java]), 0.0);
+        for d in c.all_docs() {
+            assert!(r.score(d, &[java]) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let c = corpus();
+        let r = TfIdfRanker::new(&c);
+        let java = c.keyword_term("java").unwrap(); // df 3
+        let coffee = c.keyword_term("coffee").unwrap(); // df 1
+        // d3 contains both once; coffee must contribute more.
+        let s_java = c.index().idf(java);
+        let s_coffee = c.index().idf(coffee);
+        assert!(s_coffee > s_java);
+        assert!(r.score(DocId(3), &[coffee]) > r.score(DocId(3), &[java]));
+    }
+
+    #[test]
+    fn top_k_truncates_after_sorting() {
+        let c = corpus();
+        let java = c.keyword_term("java").unwrap();
+        let docs: Vec<DocId> = Searcher::new(&c).and_query(&[java]);
+        let top1 = TfIdfRanker::new(&c).top_k(&docs, &[java], 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn rank_is_deterministic_on_ties() {
+        let c = corpus();
+        let r = TfIdfRanker::new(&c);
+        let unseen: Vec<DocId> = c.all_docs().collect();
+        // Query with no terms ⇒ all scores 0 ⇒ order by DocId.
+        let hits = r.rank(&unseen, &[]);
+        let ids: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_and_query_end_to_end() {
+        let c = corpus();
+        let hits = rank_and_query(&c, "java island");
+        let docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
+        assert_eq!(docs.len(), 2);
+        assert!(docs.contains(&DocId(0)) && docs.contains(&DocId(3)));
+        assert!(hits[0].score >= hits[1].score);
+    }
+}

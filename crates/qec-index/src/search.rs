@@ -1,0 +1,242 @@
+//! Boolean retrieval: AND and OR semantics over posting lists.
+//!
+//! The paper defines a result as a data unit containing **all** query
+//! keywords (AND semantics); its appendix notes OR semantics reduces to the
+//! identical expansion problem, so both are provided. Intersections and
+//! merges are linear in the posting lists involved; AND intersects in
+//! ascending-df order so the candidate set shrinks as early as possible.
+
+use crate::corpus::Corpus;
+use crate::doc::DocId;
+use qec_text::TermId;
+
+/// Which boolean semantics a query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuerySemantics {
+    /// A result must contain every keyword (the paper's default).
+    #[default]
+    And,
+    /// A result must contain at least one keyword.
+    Or,
+}
+
+/// Boolean searcher over a frozen [`Corpus`].
+#[derive(Debug, Clone, Copy)]
+pub struct Searcher<'c> {
+    corpus: &'c Corpus,
+}
+
+impl<'c> Searcher<'c> {
+    /// Creates a searcher over `corpus`.
+    pub fn new(corpus: &'c Corpus) -> Self {
+        Self { corpus }
+    }
+
+    /// The corpus being searched.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// Retrieves the documents matching `terms` under `semantics`, sorted by
+    /// ascending `DocId`.
+    ///
+    /// AND with an empty term list returns the empty set (a query whose
+    /// keywords were all unknown matches nothing, mirroring an engine that
+    /// found no index entry). OR with an empty list is also empty.
+    pub fn search(&self, terms: &[TermId], semantics: QuerySemantics) -> Vec<DocId> {
+        match semantics {
+            QuerySemantics::And => self.and_query(terms),
+            QuerySemantics::Or => self.or_query(terms),
+        }
+    }
+
+    /// AND semantics: documents containing every term.
+    pub fn and_query(&self, terms: &[TermId]) -> Vec<DocId> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let index = self.corpus.index();
+        // Intersect in ascending document-frequency order.
+        let mut ordered: Vec<TermId> = terms.to_vec();
+        ordered.sort_unstable();
+        ordered.dedup();
+        ordered.sort_by_key(|&t| index.df(t));
+
+        let mut result: Vec<DocId> = index.postings(ordered[0]).iter().map(|p| p.doc).collect();
+        for &term in &ordered[1..] {
+            if result.is_empty() {
+                break;
+            }
+            let list = index.postings(term);
+            result = intersect_sorted(&result, list.iter().map(|p| p.doc));
+        }
+        result
+    }
+
+    /// OR semantics: documents containing at least one term.
+    pub fn or_query(&self, terms: &[TermId]) -> Vec<DocId> {
+        let index = self.corpus.index();
+        let mut ordered: Vec<TermId> = terms.to_vec();
+        ordered.sort_unstable();
+        ordered.dedup();
+        let mut result: Vec<DocId> = Vec::new();
+        for term in ordered {
+            let list = index.postings(term);
+            if list.is_empty() {
+                continue;
+            }
+            result = union_sorted(&result, list.iter().map(|p| p.doc));
+        }
+        result
+    }
+
+    /// Convenience: parses `query` through the corpus analyzer and runs an
+    /// AND query.
+    pub fn search_str(&self, query: &str) -> Vec<DocId> {
+        self.and_query(&self.corpus.query_terms(query))
+    }
+}
+
+/// Intersects a sorted slice with a sorted iterator.
+fn intersect_sorted(a: &[DocId], b: impl Iterator<Item = DocId>) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len().min(16));
+    let mut ai = 0;
+    for doc in b {
+        while ai < a.len() && a[ai] < doc {
+            ai += 1;
+        }
+        if ai == a.len() {
+            break;
+        }
+        if a[ai] == doc {
+            out.push(doc);
+            ai += 1;
+        }
+    }
+    out
+}
+
+/// Unions a sorted slice with a sorted iterator.
+fn union_sorted(a: &[DocId], b: impl Iterator<Item = DocId>) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len() + 16);
+    let mut ai = 0;
+    for doc in b {
+        while ai < a.len() && a[ai] < doc {
+            out.push(a[ai]);
+            ai += 1;
+        }
+        if ai < a.len() && a[ai] == doc {
+            ai += 1;
+        }
+        out.push(doc);
+    }
+    out.extend_from_slice(&a[ai..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::doc::DocumentSpec;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_document(DocumentSpec::text("d0", "apple iphone store"));
+        b.add_document(DocumentSpec::text("d1", "apple fruit orchard"));
+        b.add_document(DocumentSpec::text("d2", "apple store location"));
+        b.add_document(DocumentSpec::text("d3", "banana fruit"));
+        b.build()
+    }
+
+    #[test]
+    fn and_query_intersects() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let apple = c.keyword_term("apple").unwrap();
+        let store = c.keyword_term("store").unwrap();
+        assert_eq!(s.and_query(&[apple]), vec![DocId(0), DocId(1), DocId(2)]);
+        assert_eq!(s.and_query(&[apple, store]), vec![DocId(0), DocId(2)]);
+    }
+
+    #[test]
+    fn and_query_empty_terms_is_empty() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        assert!(s.and_query(&[]).is_empty());
+    }
+
+    #[test]
+    fn and_query_with_unseen_term_is_empty() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let apple = c.keyword_term("apple").unwrap();
+        // TermId beyond vocabulary ⇒ empty postings ⇒ empty intersection.
+        let unseen = qec_text::TermId(9999);
+        assert!(s.and_query(&[apple, unseen]).is_empty());
+    }
+
+    #[test]
+    fn or_query_merges() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let store = c.keyword_term("store").unwrap();
+        let fruit = c.keyword_term("fruit").unwrap();
+        assert_eq!(
+            s.or_query(&[store, fruit]),
+            vec![DocId(0), DocId(1), DocId(2), DocId(3)]
+        );
+    }
+
+    #[test]
+    fn or_query_deduplicates() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let apple = c.keyword_term("apple").unwrap();
+        assert_eq!(s.or_query(&[apple, apple]).len(), 3);
+    }
+
+    #[test]
+    fn search_str_parses_full_queries() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        assert_eq!(s.search_str("apple, fruit"), vec![DocId(1)]);
+        assert_eq!(s.search_str("apple fruits"), vec![DocId(1)], "stemming");
+        assert!(s.search_str("").is_empty());
+    }
+
+    #[test]
+    fn duplicate_terms_in_and_are_harmless() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let apple = c.keyword_term("apple").unwrap();
+        assert_eq!(s.and_query(&[apple, apple]).len(), 3);
+    }
+
+    #[test]
+    fn results_always_sorted() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let apple = c.keyword_term("apple").unwrap();
+        let fruit = c.keyword_term("fruit").unwrap();
+        for res in [
+            s.and_query(&[apple, fruit]),
+            s.or_query(&[apple, fruit]),
+        ] {
+            assert!(res.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn semantics_dispatch() {
+        let c = corpus();
+        let s = Searcher::new(&c);
+        let apple = c.keyword_term("apple").unwrap();
+        let fruit = c.keyword_term("fruit").unwrap();
+        assert_eq!(
+            s.search(&[apple, fruit], QuerySemantics::And),
+            vec![DocId(1)]
+        );
+        assert_eq!(s.search(&[apple, fruit], QuerySemantics::Or).len(), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! The analysis pipeline: tokenize → stopword-filter → (optionally) stem →
+//! intern.
+//!
+//! [`Analyzer`] owns the [`TermDict`] so that every component of the system
+//! (index, clusterer, expansion algorithms, data generators) shares one id
+//! space. The paper's engine implicitly does the same: an expanded query's
+//! keywords are drawn from the very terms that were indexed.
+
+use crate::dict::{TermDict, TermId};
+use crate::stem::PorterStemmer;
+use crate::stopwords::StopwordList;
+use crate::token::Tokenizer;
+
+/// Configuration for [`Analyzer`].
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Apply the Porter stemmer to each token.
+    pub stem: bool,
+    /// Filter stopwords.
+    pub filter_stopwords: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self {
+            stem: true,
+            filter_stopwords: true,
+        }
+    }
+}
+
+/// Text-analysis pipeline with a shared term dictionary.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+    stemmer: PorterStemmer,
+    stopwords: StopwordList,
+    dict: TermDict,
+}
+
+impl Analyzer {
+    /// Analyzer with default config (stemming + English stopwords).
+    pub fn new() -> Self {
+        Self::with_config(AnalyzerConfig::default())
+    }
+
+    /// Analyzer with explicit configuration.
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        Self {
+            stopwords: if config.filter_stopwords {
+                StopwordList::english()
+            } else {
+                StopwordList::none()
+            },
+            config,
+            stemmer: PorterStemmer::new(),
+            dict: TermDict::new(),
+        }
+    }
+
+    /// Analyzes `text` into interned term ids (duplicates preserved — the
+    /// index derives term frequencies from repetition).
+    pub fn analyze(&mut self, text: &str) -> Vec<TermId> {
+        let mut out = Vec::new();
+        // Tokens borrow from `text`; collect is needed because interning
+        // borrows `self` mutably.
+        let tokens: Vec<String> = Tokenizer::new(text).map(|t| t.text).collect();
+        for tok in tokens {
+            if self.config.filter_stopwords && self.stopwords.contains(&tok) {
+                continue;
+            }
+            let final_form = if self.config.stem {
+                self.stemmer.stem(&tok)
+            } else {
+                tok
+            };
+            if final_form.is_empty() {
+                continue;
+            }
+            out.push(self.dict.intern(&final_form));
+        }
+        out
+    }
+
+    /// Analyzes a *verbatim* term: no tokenization, no stopword filtering,
+    /// no stemming — used for structured feature tokens such as
+    /// `tv:brand:toshiba` which must stay atomic.
+    pub fn intern_verbatim(&mut self, term: &str) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Analyzes a single query keyword the same way document text is
+    /// analyzed, returning `None` when the keyword is a stopword or empty.
+    pub fn analyze_keyword(&mut self, keyword: &str) -> Option<TermId> {
+        self.analyze(keyword).into_iter().next()
+    }
+
+    /// Looks up the analysed form of `keyword` without interning new terms.
+    pub fn lookup_keyword(&self, keyword: &str) -> Option<TermId> {
+        let tokens: Vec<String> = Tokenizer::new(keyword).map(|t| t.text).collect();
+        let tok = tokens.first()?;
+        if self.config.filter_stopwords && self.stopwords.contains(tok) {
+            return None;
+        }
+        let final_form = if self.config.stem {
+            self.stemmer.stem(tok)
+        } else {
+            tok.clone()
+        };
+        self.dict.get(&final_form)
+    }
+
+    /// Shared dictionary (read access).
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn vocab_size(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Human-readable name of a term id.
+    pub fn term_name(&self, id: TermId) -> &str {
+        self.dict.name_of(id)
+    }
+
+    /// Access to the stopword list (e.g. to add corpus-specific words).
+    pub fn stopwords_mut(&mut self) -> &mut StopwordList {
+        &mut self.stopwords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_stems_and_filters() {
+        let mut a = Analyzer::new();
+        let ids = a.analyze("The apples are in the stores");
+        let names: Vec<&str> = ids.iter().map(|&id| a.dict().name_of(id)).collect();
+        assert_eq!(names, vec!["appl", "store"]);
+    }
+
+    #[test]
+    fn duplicates_are_preserved_for_tf() {
+        let mut a = Analyzer::new();
+        let ids = a.analyze("java java island");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn no_stem_config() {
+        let mut a = Analyzer::with_config(AnalyzerConfig {
+            stem: false,
+            filter_stopwords: true,
+        });
+        let ids = a.analyze("running shoes");
+        let names: Vec<&str> = ids.iter().map(|&id| a.dict().name_of(id)).collect();
+        assert_eq!(names, vec!["running", "shoes"]);
+    }
+
+    #[test]
+    fn verbatim_terms_stay_atomic() {
+        let mut a = Analyzer::new();
+        let id = a.intern_verbatim("tv:brand:toshiba");
+        assert_eq!(a.dict().name_of(id), "tv:brand:toshiba");
+        // Regular analysis of the same string would split it.
+        let ids = a.analyze("tv:brand:toshiba");
+        assert!(ids.len() > 1);
+    }
+
+    #[test]
+    fn analyze_keyword_matches_document_analysis() {
+        let mut a = Analyzer::new();
+        let doc_ids = a.analyze("many locations");
+        let kw = a.analyze_keyword("location").unwrap();
+        assert!(doc_ids.contains(&kw));
+    }
+
+    #[test]
+    fn analyze_keyword_stopword_is_none() {
+        let mut a = Analyzer::new();
+        assert_eq!(a.analyze_keyword("the"), None);
+        assert_eq!(a.analyze_keyword(""), None);
+    }
+
+    #[test]
+    fn lookup_keyword_does_not_intern() {
+        let mut a = Analyzer::new();
+        assert_eq!(a.lookup_keyword("zebra"), None);
+        let before = a.vocab_size();
+        let _ = a.lookup_keyword("zebra");
+        assert_eq!(a.vocab_size(), before);
+        let id = a.analyze_keyword("zebra").unwrap();
+        assert_eq!(a.lookup_keyword("zebra"), Some(id));
+        assert_eq!(a.lookup_keyword("zebras"), Some(id), "stemmed lookup");
+    }
+}

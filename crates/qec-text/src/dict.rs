@@ -1,0 +1,166 @@
+//! Interning term dictionary: string ⇄ dense [`TermId`].
+//!
+//! Every distinct analysed token in a corpus is assigned a dense `u32` id in
+//! first-seen order. Dense ids let the index store postings as integer lists
+//! and let the expansion algorithms address per-term state with plain
+//! vectors, which matters because ISKR/PEBC iterate over *all* candidate
+//! terms many times.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// A dense identifier for an interned term.
+///
+/// Ids are assigned contiguously from zero in first-insertion order, so a
+/// `TermId` can index a `Vec` sized by [`TermDict::len`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bidirectional map between term strings and dense [`TermId`]s.
+///
+/// Interned strings are stored once; lookups by id are O(1) slice accesses.
+#[derive(Debug, Default, Clone)]
+pub struct TermDict {
+    by_name: FxHashMap<Box<str>, TermId>,
+    by_id: Vec<Box<str>>,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with room for `capacity` terms.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            by_name: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            by_id: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `term`, returning its id. Existing terms return their
+    /// original id; new terms are assigned the next dense id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_name.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.by_id.len()).expect("more than u32::MAX terms"));
+        let boxed: Box<str> = term.into();
+        self.by_id.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned term without inserting.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_name.get(term).copied()
+    }
+
+    /// Returns the string for `id`, if `id` was produced by this dictionary.
+    pub fn name(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.index()).map(|s| s.as_ref())
+    }
+
+    /// Returns the string for `id`, panicking on foreign ids.
+    ///
+    /// Use when `id` is known to come from this dictionary (the common case
+    /// inside the pipeline).
+    pub fn name_of(&self, id: TermId) -> &str {
+        self.name(id).expect("TermId not from this dictionary")
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_order() {
+        let mut d = TermDict::new();
+        assert_eq!(d.intern("apple"), TermId(0));
+        assert_eq!(d.intern("fruit"), TermId(1));
+        assert_eq!(d.intern("apple"), TermId(0));
+        assert_eq!(d.intern("store"), TermId(2));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut d = TermDict::new();
+        let id = d.intern("banana");
+        assert_eq!(d.name(id), Some("banana"));
+        assert_eq!(d.name_of(id), "banana");
+        assert_eq!(d.name(TermId(99)), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut d = TermDict::new();
+        assert_eq!(d.get("x"), None);
+        assert_eq!(d.len(), 0);
+        d.intern("x");
+        assert_eq!(d.get("x"), Some(TermId(0)));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = TermDict::new();
+        for w in ["c", "a", "b"] {
+            d.intern(w);
+        }
+        let names: Vec<&str> = d.iter().map(|(_, s)| s).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+        let ids: Vec<u32> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = TermDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.iter().count(), 0);
+    }
+
+    #[test]
+    fn large_dict_is_consistent() {
+        let mut d = TermDict::with_capacity(10_000);
+        let ids: Vec<TermId> = (0..10_000).map(|i| d.intern(&format!("w{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(d.name_of(*id), format!("w{i}"));
+        }
+    }
+}

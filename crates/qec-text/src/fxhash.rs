@@ -1,0 +1,120 @@
+//! A minimal FxHash-style hasher.
+//!
+//! The standard library's default SipHash is robust against HashDoS but slow
+//! for the short ASCII strings we intern millions of times while building
+//! synthetic corpora. This is the rustc `FxHasher` algorithm (multiply by a
+//! golden-ratio-derived constant, xor in each word), reimplemented here so we
+//! do not need an extra dependency. All inputs are trusted (we generate
+//! them), so HashDoS resistance is irrelevant.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by FxHash on 64-bit platforms.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        let bh = FxBuildHasher::default();
+        bh.hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_one("hello"), hash_one("hello"));
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+    }
+
+    #[test]
+    fn distinguishes_nearby_strings() {
+        assert_ne!(hash_one("hello"), hash_one("hellp"));
+        assert_ne!(hash_one("a"), hash_one("aa"));
+        // Trailing bytes must matter (remainder handling).
+        assert_ne!(hash_one("12345678a"), hash_one("12345678b"));
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        // Must not panic and must be stable.
+        assert_eq!(hash_one(""), hash_one(""));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(format!("term-{i}"), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&format!("term-{i}")), Some(&i));
+        }
+    }
+}

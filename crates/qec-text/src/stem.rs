@@ -1,0 +1,465 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! A faithful implementation of the original five-step suffix-stripping
+//! algorithm, operating on lower-case ASCII words. Stemming conflates
+//! morphological variants (`connect`, `connected`, `connection` → `connect`)
+//! so that the index, the clusterer and the expansion algorithms treat them
+//! as one term — the standard IR preprocessing the paper's engine assumes.
+//!
+//! The implementation follows the original paper's definition: a word is
+//! viewed as `[C](VC)^m[V]` where `C`/`V` are maximal consonant/vowel runs
+//! and `m` is the *measure*; each rule `(condition) S1 -> S2` fires only if
+//! the stem before `S1` satisfies the condition. Within a step, the rule
+//! with the longest matching `S1` wins (even if its condition then fails —
+//! per the original specification, no further rules in that step apply).
+
+/// Stateless Porter stemmer.
+///
+/// The struct exists so callers can hold a stemmer in analyzer pipelines; it
+/// carries no state and is free to construct.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PorterStemmer;
+
+impl PorterStemmer {
+    /// Creates a stemmer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Stems `word`, returning the stem as a new `String`.
+    ///
+    /// `word` must already be lower-case; non-alphabetic words are returned
+    /// unchanged (the tokenizer emits digit-bearing tokens such as `8gb`
+    /// that must not be mangled). Words of length ≤ 2 are returned as-is,
+    /// per the original algorithm.
+    pub fn stem(&self, word: &str) -> String {
+        if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+            return word.to_string();
+        }
+        let mut w: Vec<u8> = word.as_bytes().to_vec();
+        step1a(&mut w);
+        step1b(&mut w);
+        step1c(&mut w);
+        step2(&mut w);
+        step3(&mut w);
+        step4(&mut w);
+        step5a(&mut w);
+        step5b(&mut w);
+        String::from_utf8(w).expect("stemmer operates on ASCII")
+    }
+}
+
+/// Is `w[i]` a consonant, per Porter's definition?
+///
+/// A, E, I, O, U are vowels; Y is a consonant when at position 0 or when the
+/// previous letter is a vowel, otherwise it acts as a vowel (`syzygy`).
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// The measure `m` of `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // A consonant run after vowels closes one VC.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+/// Does `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// Does `w[..len]` end with a double consonant?
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// Does `w[..len]` end consonant-vowel-consonant, where the final consonant
+/// is not W, X or Y? (The `*o` condition.)
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (a, b, c) = (len - 3, len - 2, len - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+/// Does `w` end with `suffix`?
+fn ends_with(w: &[u8], suffix: &[u8]) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix
+}
+
+/// Replaces the trailing `suffix` (which must be present) with `repl`.
+fn set_suffix(w: &mut Vec<u8>, suffix: &[u8], repl: &[u8]) {
+    let stem_len = w.len() - suffix.len();
+    w.truncate(stem_len);
+    w.extend_from_slice(repl);
+}
+
+/// If `w` ends with `suffix` and the stem has measure > `min_m`, replaces it
+/// with `repl` and returns true. A return of true also means "this rule's
+/// suffix matched", which per Porter ends the containing step.
+fn rule(w: &mut Vec<u8>, suffix: &[u8], repl: &[u8], min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        set_suffix(w, suffix, repl);
+    }
+    true
+}
+
+/// Step 1a: plurals. `sses→ss`, `ies→i`, `ss→ss`, `s→`.
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, b"sses") {
+        set_suffix(w, b"sses", b"ss");
+    } else if ends_with(w, b"ies") {
+        set_suffix(w, b"ies", b"i");
+    } else if ends_with(w, b"ss") {
+        // unchanged
+    } else if ends_with(w, b"s") {
+        set_suffix(w, b"s", b"");
+    }
+}
+
+/// Step 1b: `eed`, `ed`, `ing`, with the cleanup pass on success of the
+/// latter two.
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, b"eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            set_suffix(w, b"eed", b"ee");
+        }
+        return;
+    }
+    let stripped = if ends_with(w, b"ed") && has_vowel(w, w.len() - 2) {
+        set_suffix(w, b"ed", b"");
+        true
+    } else if ends_with(w, b"ing") && has_vowel(w, w.len() - 3) {
+        set_suffix(w, b"ing", b"");
+        true
+    } else {
+        false
+    };
+    if !stripped {
+        return;
+    }
+    // Cleanup: AT→ATE, BL→BLE, IZ→IZE; undouble consonants except l,s,z;
+    // (m=1 and *o) → add E.
+    if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
+        w.push(b'e');
+    } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+        w.pop();
+    } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+        w.push(b'e');
+    }
+}
+
+/// Step 1c: `y→i` when the stem contains a vowel.
+fn step1c(w: &mut Vec<u8>) {
+    if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
+        let last = w.len() - 1;
+        w[last] = b'i';
+    }
+}
+
+/// Step 2: long derivational suffixes, condition `m > 0`.
+fn step2(w: &mut Vec<u8>) {
+    // Ordered so that the first matching suffix is the longest applicable
+    // one (Porter switches on the penultimate letter; a linear scan over
+    // suffixes sorted within each penultimate-letter group is equivalent).
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for &(suffix, repl) in RULES {
+        if rule(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+/// Step 3: more derivational suffixes, condition `m > 0`.
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for &(suffix, repl) in RULES {
+        if rule(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+/// Step 4: strip residual suffixes when `m > 1`.
+fn step4(w: &mut Vec<u8>) {
+    const RULES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+    ];
+    // `ion` requires the stem to end in `s` or `t`; handled separately but
+    // in longest-match position relative to the table above.
+    for &suffix in RULES {
+        if ends_with(w, suffix) {
+            // `ement`/`ment`/`ent` overlap: ends_with picks whichever we test
+            // first, so the table lists longer variants first among overlaps.
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    if ends_with(w, b"ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+/// Step 5a: drop final `e` when `m > 1`, or when `m = 1` and the stem is not
+/// `*o` (CVC with non-wxy final consonant).
+fn step5a(w: &mut Vec<u8>) {
+    if !ends_with(w, b"e") {
+        return;
+    }
+    let stem_len = w.len() - 1;
+    let m = measure(w, stem_len);
+    if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+        w.truncate(stem_len);
+    }
+}
+
+/// Step 5b: undouble final `ll` when `m > 1`.
+fn step5b(w: &mut Vec<u8>) {
+    if w.len() >= 2
+        && w[w.len() - 1] == b'l'
+        && w[w.len() - 2] == b'l'
+        && measure(w, w.len() - 1) > 1
+    {
+        w.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(word: &str) -> String {
+        PorterStemmer::new().stem(word)
+    }
+
+    #[test]
+    fn classic_porter_examples() {
+        // Examples straight from Porter (1980).
+        assert_eq!(s("caresses"), "caress");
+        assert_eq!(s("ponies"), "poni");
+        assert_eq!(s("ties"), "ti");
+        assert_eq!(s("caress"), "caress");
+        assert_eq!(s("cats"), "cat");
+        assert_eq!(s("feed"), "feed");
+        assert_eq!(s("agreed"), "agre");
+        assert_eq!(s("plastered"), "plaster");
+        assert_eq!(s("bled"), "bled");
+        assert_eq!(s("motoring"), "motor");
+        assert_eq!(s("sing"), "sing");
+    }
+
+    #[test]
+    fn step1b_cleanup_examples() {
+        assert_eq!(s("conflated"), "conflat");
+        assert_eq!(s("troubled"), "troubl");
+        assert_eq!(s("sized"), "size");
+        assert_eq!(s("hopping"), "hop");
+        assert_eq!(s("tanned"), "tan");
+        assert_eq!(s("falling"), "fall");
+        assert_eq!(s("hissing"), "hiss");
+        assert_eq!(s("fizzed"), "fizz");
+        assert_eq!(s("failing"), "fail");
+        assert_eq!(s("filing"), "file");
+    }
+
+    #[test]
+    fn step1c_y_to_i() {
+        assert_eq!(s("happy"), "happi");
+        assert_eq!(s("sky"), "sky"); // no vowel in stem
+    }
+
+    #[test]
+    fn step2_examples() {
+        assert_eq!(s("relational"), "relat");
+        assert_eq!(s("conditional"), "condit");
+        assert_eq!(s("rational"), "ration");
+        assert_eq!(s("valenci"), "valenc");
+        assert_eq!(s("digitizer"), "digit");
+        assert_eq!(s("operator"), "oper");
+        assert_eq!(s("sensitiviti"), "sensit");
+    }
+
+    #[test]
+    fn step3_examples() {
+        assert_eq!(s("triplicate"), "triplic");
+        assert_eq!(s("formative"), "form");
+        assert_eq!(s("formalize"), "formal");
+        assert_eq!(s("electriciti"), "electr");
+        assert_eq!(s("electrical"), "electr");
+        assert_eq!(s("hopeful"), "hope");
+        assert_eq!(s("goodness"), "good");
+    }
+
+    #[test]
+    fn step4_examples() {
+        assert_eq!(s("revival"), "reviv");
+        assert_eq!(s("allowance"), "allow");
+        assert_eq!(s("inference"), "infer");
+        assert_eq!(s("airliner"), "airlin");
+        assert_eq!(s("adjustable"), "adjust");
+        assert_eq!(s("defensible"), "defens");
+        assert_eq!(s("replacement"), "replac");
+        assert_eq!(s("adoption"), "adopt");
+        assert_eq!(s("communism"), "commun");
+        assert_eq!(s("activate"), "activ");
+        assert_eq!(s("effective"), "effect");
+        assert_eq!(s("bowdlerize"), "bowdler");
+    }
+
+    #[test]
+    fn step5_examples() {
+        assert_eq!(s("probate"), "probat");
+        assert_eq!(s("rate"), "rate");
+        assert_eq!(s("cease"), "ceas");
+        assert_eq!(s("controll"), "control");
+        assert_eq!(s("roll"), "roll");
+    }
+
+    #[test]
+    fn morphological_family_conflates() {
+        let family = ["connect", "connected", "connecting", "connection", "connections"];
+        let stems: Vec<String> = family.iter().map(|w| s(w)).collect();
+        assert!(stems.iter().all(|st| st == "connect"), "{stems:?}");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(s("a"), "a");
+        assert_eq!(s("is"), "is");
+        assert_eq!(s("tv"), "tv");
+    }
+
+    #[test]
+    fn non_alpha_tokens_untouched() {
+        assert_eq!(s("8gb"), "8gb");
+        assert_eq!(s("ddr3"), "ddr3");
+        assert_eq!(s("wp-dc26"), "wp-dc26");
+    }
+
+    #[test]
+    fn domain_terms_from_the_paper() {
+        // Terms appearing in the paper's examples must stem stably.
+        assert_eq!(s("apples"), "appl");
+        assert_eq!(s("apple"), "appl");
+        assert_eq!(s("stores"), "store");
+        assert_eq!(s("locations"), "locat");
+        assert_eq!(s("location"), "locat");
+        assert_eq!(s("fruits"), "fruit");
+        assert_eq!(s("printers"), "printer");
+        assert_eq!(s("cameras"), "camera");
+        assert_eq!(s("camcorders"), "camcord");
+    }
+
+    #[test]
+    fn idempotent_on_common_vocabulary() {
+        // Stemming a stem should usually be a fixpoint for this vocabulary;
+        // guard against regressions on words the corpora use heavily.
+        for w in [
+            "player", "hockey", "island", "server", "battery", "laptop", "research", "album",
+            "mountain", "tutorial", "game",
+        ] {
+            let once = s(w);
+            let twice = s(&once);
+            assert_eq!(once, twice, "stem of {w} not idempotent");
+        }
+    }
+
+    #[test]
+    fn measure_function() {
+        let w = b"tree";
+        assert_eq!(measure(w, w.len()), 0);
+        let w = b"trouble";
+        assert_eq!(measure(w, w.len()), 1);
+        let w = b"oats";
+        assert_eq!(measure(w, w.len()), 1);
+        let w = b"troubles";
+        assert_eq!(measure(w, w.len()), 2);
+        let w = b"private";
+        assert_eq!(measure(w, w.len()), 2);
+    }
+
+    #[test]
+    fn y_consonant_vowel_duality() {
+        // y at word start: consonant; y after consonant: vowel.
+        assert!(is_consonant(b"yes", 0));
+        assert!(!is_consonant(b"syzygy", 1));
+        assert!(is_consonant(b"syzygy", 2)); // z
+        assert!(!is_consonant(b"by", 1));
+    }
+}

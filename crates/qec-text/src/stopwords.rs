@@ -1,0 +1,115 @@
+//! English stopword list.
+//!
+//! Stopwords are filtered before indexing and — importantly for the paper's
+//! algorithms — before a term can become an expansion *candidate*: adding
+//! "the" to a query would trivially eliminate nothing and pollute the
+//! candidate ranking.
+
+use crate::fxhash::FxHashSet;
+
+/// The classic Van Rijsbergen-style English stopword list (trimmed to the
+/// words that actually occur in web/product text).
+const WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// A set of words to exclude from indexing and expansion candidacy.
+#[derive(Debug, Clone)]
+pub struct StopwordList {
+    words: FxHashSet<&'static str>,
+    /// Extra dynamically added stopwords (owned).
+    extra: FxHashSet<String>,
+}
+
+impl StopwordList {
+    /// The standard English list.
+    pub fn english() -> Self {
+        Self {
+            words: WORDS.iter().copied().collect(),
+            extra: FxHashSet::default(),
+        }
+    }
+
+    /// An empty list (nothing is a stopword).
+    pub fn none() -> Self {
+        Self {
+            words: FxHashSet::default(),
+            extra: FxHashSet::default(),
+        }
+    }
+
+    /// Adds a custom stopword (already lower-cased).
+    pub fn add(&mut self, word: &str) {
+        self.extra.insert(word.to_string());
+    }
+
+    /// Is `word` (lower-case) a stopword?
+    #[inline]
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word) || self.extra.contains(word)
+    }
+
+    /// Total number of stopwords.
+    pub fn len(&self) -> usize {
+        self.words.len() + self.extra.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty() && self.extra.is_empty()
+    }
+}
+
+impl Default for StopwordList {
+    fn default() -> Self {
+        Self::english()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        let sw = StopwordList::english();
+        for w in ["the", "and", "of", "is", "a", "with"] {
+            assert!(sw.contains(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        let sw = StopwordList::english();
+        for w in ["apple", "java", "printer", "camera", "rocket"] {
+            assert!(!sw.contains(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn none_list_blocks_nothing() {
+        let sw = StopwordList::none();
+        assert!(!sw.contains("the"));
+        assert!(sw.is_empty());
+    }
+
+    #[test]
+    fn custom_words_can_be_added() {
+        let mut sw = StopwordList::english();
+        assert!(!sw.contains("wikipedia"));
+        sw.add("wikipedia");
+        assert!(sw.contains("wikipedia"));
+        assert_eq!(sw.len(), WORDS.len() + 1);
+    }
+}
