@@ -1,1 +1,61 @@
-fn main() {}
+//! The §3 maintenance-rule ablation: affected-keywords-only revaluation vs
+//! full rescan after every move. Identical outputs (asserted), different
+//! costs — this bench quantifies the paper's central efficiency claim, and
+//! fails loudly if affected-only ever stops being strictly faster at the
+//! top-500 workload.
+
+use qec_bench::{synth_arena, ArenaSpec, Harness};
+use qec_core::{iskr_into, IskrConfig, IskrScratch, QecInstance};
+use std::hint::black_box;
+
+fn main() {
+    let mut h = Harness::new("ablation");
+    let affected = IskrConfig::default();
+    let rescan = IskrConfig {
+        affected_only: false,
+        ..Default::default()
+    };
+
+    for arena_size in [30usize, 100, 500] {
+        let (arena, clusters) = synth_arena(&ArenaSpec::top(arena_size, 23));
+        let inst = QecInstance::new(&arena, clusters[0].clone());
+        let mut scratch = IskrScratch::new();
+
+        // Both maintenance modes must land on the same expansion — same
+        // keywords, not just a coincidentally equal quality.
+        let fast = iskr_into(&inst, &affected, &mut scratch);
+        let fast_added = scratch.added().to_vec();
+        let slow = iskr_into(&inst, &rescan, &mut scratch);
+        assert!(fast == slow, "maintenance rule changed the quality");
+        assert_eq!(fast_added, scratch.added(), "maintenance rule changed the query");
+
+        h.bench(&format!("affected_only/arena{arena_size}"), || {
+            black_box(iskr_into(black_box(&inst), &affected, &mut scratch))
+        });
+        h.bench(&format!("full_rescan/arena{arena_size}"), || {
+            black_box(iskr_into(black_box(&inst), &rescan, &mut scratch))
+        });
+    }
+
+    // A substring filter can exclude either side; only compare when both
+    // arena-500 cases actually ran.
+    if let (false, Some(fast), Some(slow)) = (
+        h.test_mode(),
+        h.median_of("affected_only/arena500"),
+        h.median_of("full_rescan/arena500"),
+    ) {
+        println!(
+            "# arena500 maintenance speedup: {:.2}x (affected-only {} vs rescan {})",
+            slow / fast,
+            fast as u64,
+            slow as u64
+        );
+        assert!(
+            fast < slow,
+            "affected-only maintenance must be strictly faster than full rescan \
+             at arena 500 (got {fast} vs {slow} ns)"
+        );
+    }
+
+    h.finish();
+}

@@ -1,1 +1,66 @@
-fn main() {}
+//! Microbenchmarks for the `ResultSet` kernels ISKR's inner loop runs on.
+//!
+//! The interesting comparisons: allocating set ops vs their in-place /
+//! counting twins, and the fused weighted kernels vs materialising the
+//! intermediate sets they replace.
+
+use qec_bench::Harness;
+use qec_cluster::SplitMix64;
+use qec_core::ResultSet;
+use std::hint::black_box;
+
+fn random_set(rng: &mut SplitMix64, universe: usize, density_pct: usize) -> ResultSet {
+    ResultSet::from_indices(
+        universe,
+        (0..universe).filter(|_| rng.below(100) < density_pct),
+    )
+}
+
+fn main() {
+    let mut h = Harness::new("bitset");
+    let universe = 500; // the paper's largest arena
+    let mut rng = SplitMix64::seed_from_u64(2024);
+    let a = random_set(&mut rng, universe, 60);
+    let b = random_set(&mut rng, universe, 40);
+    let c = random_set(&mut rng, universe, 30);
+    let weights: Vec<f64> = (0..universe).map(|i| 1.0 / (1.0 + i as f64)).collect();
+
+    h.bench("and/alloc", || black_box(&a).and(black_box(&b)));
+    let mut buf = a.clone();
+    h.bench("and/in_place", || {
+        buf.copy_from(black_box(&a));
+        buf.and_assign(black_box(&b));
+    });
+    h.bench("intersect_count", || {
+        black_box(&a).intersect_count(black_box(&b))
+    });
+    h.bench("and_not_count", || {
+        black_box(&a).and_not_count(black_box(&b))
+    });
+    let mut out = ResultSet::empty(universe);
+    h.bench("union_into", || {
+        black_box(&a).union_into(black_box(&b), &mut out)
+    });
+
+    h.bench("weighted_sum_and/fused", || {
+        black_box(&a).weighted_sum_and(black_box(&b), black_box(&weights))
+    });
+    h.bench("weighted_sum_and/materialised", || {
+        black_box(&a).and(black_box(&b)).weighted_sum(black_box(&weights))
+    });
+    h.bench("weighted_sum_and_not_and/fused", || {
+        black_box(&a).weighted_sum_and_not_and(
+            black_box(&b),
+            black_box(&c),
+            black_box(&weights),
+        )
+    });
+    h.bench("weighted_sum_and_not_and/materialised", || {
+        black_box(&a)
+            .and_not(black_box(&b))
+            .and(black_box(&c))
+            .weighted_sum(black_box(&weights))
+    });
+
+    h.finish();
+}

@@ -1,1 +1,74 @@
-fn main() {}
+//! Retrieval benchmarks over a Zipfian synthetic corpus: every hybrid
+//! representation pairing the AND/OR paths can meet, plus the scratch-reuse
+//! vs per-query-allocation comparison.
+
+use qec_bench::{synth_corpus, CorpusSpec, Harness};
+use qec_index::{Corpus, PostingsView, SearchScratch, Searcher};
+use qec_text::TermId;
+use std::hint::black_box;
+
+/// First synthetic term whose df falls in `[lo, hi]`, with its df.
+fn term_with_df(corpus: &Corpus, lo: u32, hi: u32) -> (TermId, u32) {
+    for rank in 0..50_000 {
+        if let Some(t) = qec_bench::synth_term(corpus, rank) {
+            let df = corpus.index().df(t);
+            if (lo..=hi).contains(&df) {
+                return (t, df);
+            }
+        }
+    }
+    panic!("no term with df in [{lo}, {hi}]");
+}
+
+fn main() {
+    let mut h = Harness::new("index");
+    let spec = CorpusSpec::default(); // 20k docs, vocab 10k, Zipf 1.0
+    let corpus = synth_corpus(&spec);
+    let s = Searcher::new(&corpus);
+
+    // Pick terms per representation tier. Threshold: df · 64 ≥ N ⇒ bitmap,
+    // so the boundary df is ⌈N/64⌉, not ⌊N/64⌋.
+    let dense_cut = spec.num_docs.div_ceil(64) as u32;
+    let (dense_a, df_da) = term_with_df(&corpus, dense_cut * 4, u32::MAX);
+    let (dense_b, df_db) = term_with_df(&corpus, dense_cut, dense_cut * 4);
+    let (sparse_a, df_sa) = term_with_df(&corpus, 40, dense_cut - 1);
+    let (sparse_b, df_sb) = term_with_df(&corpus, 5, 39);
+    for dense in [dense_a, dense_b] {
+        assert!(matches!(corpus.index().doc_ids(dense), PostingsView::Bitmap(_)));
+    }
+    for sparse in [sparse_a, sparse_b] {
+        assert!(matches!(corpus.index().doc_ids(sparse), PostingsView::Sorted(_)));
+    }
+    println!(
+        "# dfs: dense {df_da}/{df_db}, sparse {df_sa}/{df_sb} over {} docs",
+        spec.num_docs
+    );
+
+    h.bench("and/sparse_sparse_gallop", || {
+        black_box(s.and_query(black_box(&[sparse_a, sparse_b])))
+    });
+    h.bench("and/sparse_dense_probe", || {
+        black_box(s.and_query(black_box(&[sparse_b, dense_a])))
+    });
+    h.bench("and/dense_dense_bitmap", || {
+        black_box(s.and_query(black_box(&[dense_a, dense_b])))
+    });
+    h.bench("and/four_term_mixed", || {
+        black_box(s.and_query(black_box(&[sparse_a, sparse_b, dense_a, dense_b])))
+    });
+
+    let mut scratch = SearchScratch::new();
+    h.bench("and/four_term_mixed_scratch_reuse", || {
+        s.and_query_into(black_box(&[sparse_a, sparse_b, dense_a, dense_b]), &mut scratch);
+        black_box(scratch.results().len())
+    });
+
+    h.bench("or/sparse_sparse_kway", || {
+        black_box(s.or_query(black_box(&[sparse_a, sparse_b])))
+    });
+    h.bench("or/mixed_bitmap_union", || {
+        black_box(s.or_query(black_box(&[sparse_a, dense_a, dense_b])))
+    });
+
+    h.finish();
+}

@@ -1,1 +1,48 @@
-fn main() {}
+//! End-to-end expansion benchmarks at the paper's workload sizes
+//! (top-30/100/500), plus the exact-ΔF baseline for contrast and the
+//! parallel per-cluster fan-out.
+
+use qec_bench::{synth_arena, ArenaSpec, Harness};
+use qec_core::{
+    expand_clusters_with_threads, fmeasure_refine, iskr_into, FMeasureConfig, IskrConfig,
+    IskrScratch, QecInstance,
+};
+use std::hint::black_box;
+
+fn main() {
+    let mut h = Harness::new("iskr");
+    let config = IskrConfig::default();
+
+    for arena_size in [30usize, 100, 500] {
+        let (arena, clusters) = synth_arena(&ArenaSpec::top(arena_size, 11));
+        let inst = QecInstance::new(&arena, clusters[0].clone());
+        let mut scratch = IskrScratch::new();
+        let _ = iskr_into(&inst, &config, &mut scratch); // warm the buffers
+        h.bench(&format!("iskr/arena{arena_size}"), || {
+            black_box(iskr_into(black_box(&inst), &config, &mut scratch))
+        });
+    }
+
+    // The exact-ΔF baseline the paper reports as 1–2 orders slower.
+    let (arena, clusters) = synth_arena(&ArenaSpec::top(100, 11));
+    let inst = QecInstance::new(&arena, clusters[0].clone());
+    h.bench("fmeasure_baseline/arena100", || {
+        black_box(fmeasure_refine(black_box(&inst), &FMeasureConfig::default()))
+    });
+
+    // Whole-query expansion: every cluster of a top-500 arena. The
+    // parallel case uses the machine's core count; on a single-core box it
+    // degrades to the sequential path (spawning threads there only adds
+    // overhead, which `expand_clusters` avoids by design).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("# cores available: {cores}");
+    let (arena, clusters) = synth_arena(&ArenaSpec::top(500, 11));
+    h.bench("expand_all/arena500/sequential", || {
+        black_box(expand_clusters_with_threads(&arena, &clusters, &config, 1))
+    });
+    h.bench(&format!("expand_all/arena500/threads{cores}"), || {
+        black_box(expand_clusters_with_threads(&arena, &clusters, &config, cores))
+    });
+
+    h.finish();
+}

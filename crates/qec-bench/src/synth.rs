@@ -1,0 +1,233 @@
+//! Seeded synthetic workload generators.
+//!
+//! Everything is driven by [`SplitMix64`], so a `(spec, seed)` pair always
+//! produces the identical corpus or arena on every platform — benchmark
+//! numbers are comparable across machines and PRs.
+
+use std::fmt::Write;
+
+use qec_cluster::SplitMix64;
+use qec_core::{Candidate, ExpansionArena, ResultSet};
+use qec_index::{Corpus, CorpusBuilder, DocumentSpec};
+use qec_text::TermId;
+
+/// Shape of a synthetic text corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Vocabulary size the Zipfian draws range over.
+    pub vocab: usize,
+    /// Tokens per document.
+    pub doc_len: usize,
+    /// Zipf exponent (1.0 ≈ natural text; higher skews harder).
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self {
+            num_docs: 20_000,
+            vocab: 10_000,
+            doc_len: 40,
+            zipf_s: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Builds a corpus of Zipf-distributed synthetic tokens. Token `wK` has
+/// rank `K`, so low-K terms are dense (they freeze to bitmaps) and high-K
+/// terms are sparse — exactly the mix the hybrid index must handle.
+pub fn synth_corpus(spec: &CorpusSpec) -> Corpus {
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
+    let sampler = ZipfSampler::new(spec.vocab, spec.zipf_s);
+    // Stopword filtering and stemming are irrelevant to synthetic tokens;
+    // body strings are assembled once per doc and fed through the normal
+    // analyzer path so the bench exercises the real build pipeline.
+    let mut builder = CorpusBuilder::new();
+    let mut body = String::with_capacity(spec.doc_len * 8);
+    for _ in 0..spec.num_docs {
+        body.clear();
+        for _ in 0..spec.doc_len {
+            let rank = sampler.sample(&mut rng);
+            let _ = write!(body, "w{rank} ");
+        }
+        builder.add_document(DocumentSpec::text("", &body));
+    }
+    builder.build()
+}
+
+/// Term id of synthetic token rank `rank` in `corpus`, if it was drawn.
+pub fn synth_term(corpus: &Corpus, rank: usize) -> Option<TermId> {
+    corpus.keyword_term(&format!("w{rank}"))
+}
+
+/// Shape of a synthetic expansion arena.
+#[derive(Debug, Clone)]
+pub struct ArenaSpec {
+    /// Arena size (the paper's workloads: 30, 100, 500).
+    pub arena_size: usize,
+    /// Number of candidate keywords.
+    pub num_candidates: usize,
+    /// Number of latent clusters (senses) the results split into.
+    pub num_clusters: usize,
+    /// Probability a candidate is absent from a result of the sense it
+    /// discriminates against (its elimination power).
+    pub discrimination: f64,
+    /// Stray absences per candidate outside its discriminated sense
+    /// (the noise that makes elimination sets ragged).
+    pub leaks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ArenaSpec {
+    /// The paper-shaped workload for a given arena size.
+    pub fn top(arena_size: usize, seed: u64) -> Self {
+        Self {
+            arena_size,
+            // §C keeps the top-20% tfidf words; candidate counts scale
+            // roughly with arena size in the paper's corpora.
+            num_candidates: (arena_size / 2).clamp(16, 256),
+            num_clusters: 8,
+            discrimination: 0.9,
+            leaks: 1,
+            seed,
+        }
+    }
+}
+
+/// Generates a clustered arena mirroring the paper's premise: results carry
+/// latent sense labels (the clusters), and each candidate keyword
+/// *discriminates against* one foreign sense — it is absent from that
+/// sense's results with probability `discrimination`, present elsewhere
+/// except for `leaks` stray absences. Elimination sets are therefore
+/// concentrated on one cluster plus noise, so a move's delta affects only
+/// the keywords discriminating the same sense — the §3 maintenance regime.
+/// The output is the (arena, clusters-as-bitsets) pair that
+/// `expand_clusters` consumes.
+pub fn synth_arena(spec: &ArenaSpec) -> (ExpansionArena, Vec<ResultSet>) {
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
+    let n = spec.arena_size;
+    let k = spec.num_clusters.max(1);
+
+    let labels: Vec<usize> = (0..n).map(|_| rng.below(k)).collect();
+
+    let candidates: Vec<Candidate> = (0..spec.num_candidates)
+        .map(|i| {
+            let anti = i % k;
+            let mut set = ResultSet::full(n);
+            for (j, &label) in labels.iter().enumerate() {
+                if label == anti && rng.f64() < spec.discrimination {
+                    set.remove(j);
+                }
+            }
+            for _ in 0..spec.leaks {
+                set.remove(rng.below(n));
+            }
+            Candidate {
+                term: TermId(i as u32),
+                contains: set,
+            }
+        })
+        .collect();
+
+    // Rank-decaying weights mimic the tfidf ranking scores of real runs.
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64).sqrt()).collect();
+    let arena = ExpansionArena::from_parts(weights, candidates);
+
+    let clusters: Vec<ResultSet> = (0..k)
+        .map(|c| {
+            ResultSet::from_indices(
+                n,
+                labels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l == c)
+                    .map(|(j, _)| j),
+            )
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    (arena, clusters)
+}
+
+/// Zipf sampler over ranks `0..n` by inverse-CDF on a precomputed table.
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / (1.0 + rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_zipfian() {
+        let spec = CorpusSpec {
+            num_docs: 500,
+            vocab: 200,
+            doc_len: 20,
+            ..Default::default()
+        };
+        let c1 = synth_corpus(&spec);
+        let c2 = synth_corpus(&spec);
+        assert_eq!(c1.num_docs(), 500);
+        assert_eq!(c1.vocab_size(), c2.vocab_size());
+        // Rank-0 token must be much denser than a tail token.
+        let head = synth_term(&c1, 0).expect("head token drawn");
+        let head_df = c1.index().df(head);
+        let tail_df = synth_term(&c1, 180).map(|t| c1.index().df(t)).unwrap_or(0);
+        assert!(head_df > tail_df * 3, "head {head_df} vs tail {tail_df}");
+    }
+
+    #[test]
+    fn arena_matches_spec_shape() {
+        let spec = ArenaSpec::top(100, 7);
+        let (arena, clusters) = synth_arena(&spec);
+        assert_eq!(arena.size(), 100);
+        assert_eq!(arena.num_candidates(), spec.num_candidates);
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 100, "clusters partition the arena");
+        for (i, a) in clusters.iter().enumerate() {
+            for b in &clusters[i + 1..] {
+                assert!(!a.intersects(b), "clusters are disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_deterministic() {
+        let spec = ArenaSpec::top(30, 99);
+        let (a1, c1) = synth_arena(&spec);
+        let (a2, c2) = synth_arena(&spec);
+        assert_eq!(c1, c2);
+        for (x, y) in a1.candidates.iter().zip(&a2.candidates) {
+            assert_eq!(x.contains, y.contains);
+        }
+    }
+
+}

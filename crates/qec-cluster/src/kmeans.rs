@@ -20,8 +20,7 @@
 
 use crate::assign::ClusterAssignment;
 use crate::vector::{cosine_similarity, SparseVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone)]
@@ -60,7 +59,7 @@ pub fn kmeans(vectors: &[SparseVec], config: &KMeansConfig) -> ClusterAssignment
         return ClusterAssignment::from_membership(&membership);
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut centroids = seed_plus_plus(vectors, k, &mut rng);
     let mut membership = vec![0u32; n];
 
@@ -130,9 +129,9 @@ fn nearest_centroid(v: &SparseVec, centroids: &[SparseVec]) -> u32 {
 }
 
 /// k-means++ seeding with cosine distance `1 − sim`.
-fn seed_plus_plus(vectors: &[SparseVec], k: usize, rng: &mut StdRng) -> Vec<SparseVec> {
+fn seed_plus_plus(vectors: &[SparseVec], k: usize, rng: &mut SplitMix64) -> Vec<SparseVec> {
     let n = vectors.len();
-    let first = rng.gen_range(0..n);
+    let first = rng.below(n);
     let mut centroids: Vec<SparseVec> = vec![vectors[first].clone()];
     let mut min_dist: Vec<f64> = vectors
         .iter()
@@ -143,9 +142,9 @@ fn seed_plus_plus(vectors: &[SparseVec], k: usize, rng: &mut StdRng) -> Vec<Spar
         let total: f64 = min_dist.iter().map(|d| d * d).sum();
         let chosen = if total <= f64::EPSILON {
             // All points coincide with existing centroids; pick uniformly.
-            rng.gen_range(0..n)
+            rng.below(n)
         } else {
-            let mut target = rng.gen_range(0.0..total);
+            let mut target = rng.f64_below(total);
             let mut pick = n - 1;
             for (i, d) in min_dist.iter().enumerate() {
                 target -= d * d;

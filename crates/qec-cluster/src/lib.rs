@@ -14,9 +14,11 @@
 pub mod assign;
 pub mod kmeans;
 pub mod quality;
+pub mod rng;
 pub mod vector;
 
 pub use assign::ClusterAssignment;
 pub use kmeans::{kmeans, KMeansConfig};
+pub use rng::SplitMix64;
 pub use quality::{normalized_mutual_information, purity};
 pub use vector::{cosine_similarity, doc_tf_vector, SparseVec};

@@ -42,9 +42,8 @@ pub fn normalized_mutual_information(assignment: &ClusterAssignment, labels: &[u
     let mut joint: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
     let mut cluster_counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
     let mut label_counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
-    for item in 0..n {
+    for (item, &l) in labels.iter().enumerate().take(n) {
         let c = assignment.cluster_of(item);
-        let l = labels[item];
         *joint.entry((c, l)).or_insert(0) += 1;
         *cluster_counts.entry(c).or_insert(0) += 1;
         *label_counts.entry(l).or_insert(0) += 1;

@@ -1,0 +1,118 @@
+//! Seeded deterministic RNG (the offline-build substitute for `rand`).
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014): a 64-bit state walked by a Weyl
+//! sequence and finalised with a variance-maximising mixer. Passes BigCrush
+//! as a standalone generator, needs two multiplications per draw, and —
+//! unlike `StdRng` — guarantees the same stream on every platform and
+//! toolchain, which is what keeps k-means++ seeding and the synthetic
+//! benchmark corpora reproducible run-to-run.
+
+/// SplitMix64 generator. All draws are derived from `next_u64`.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`). Lemire's multiply-shift with a
+    /// rejection step, so small `n` carry no modulo bias.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is ill-defined");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive and finite.
+    #[inline]
+    pub fn f64_below(&mut self, bound: f64) -> f64 {
+        debug_assert!(bound > 0.0 && bound.is_finite());
+        self.f64() * bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Published SplitMix64 stream from seed 0 (0xe220a8397b1dcdaf is
+        // the canonical first output), plus a second seed cross-checked
+        // against an independent implementation of the reference
+        // constants. A typo in any mixing constant fails here.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 0x599ed017fb08fc85);
+        assert_eq!(r.next_u64(), 0x2c73f08458540fa5);
+        assert_eq!(r.next_u64(), 0x883ebce5a3f27c77);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.below(10);
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+        for _ in 0..100 {
+            assert_eq!(r.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+        for _ in 0..100 {
+            let x = r.f64_below(3.5);
+            assert!((0.0..3.5).contains(&x));
+        }
+    }
+}

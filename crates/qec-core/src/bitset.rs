@@ -10,7 +10,7 @@
 
 /// A fixed-universe bitset; all operands of a binary operation must share
 /// the same universe size.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct ResultSet {
     words: Vec<u64>,
     /// Size of the universe (number of addressable bits).
@@ -153,13 +153,58 @@ impl ResultSet {
     }
 
     /// `|self ∩ other|` without allocating.
-    pub fn intersection_len(&self, other: &ResultSet) -> usize {
+    pub fn intersect_count(&self, other: &ResultSet) -> usize {
         self.check(other);
         self.words
             .iter()
             .zip(&other.words)
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    pub fn and_not_count(&self, other: &ResultSet) -> usize {
+        self.check(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Writes `self ∪ other` into `out` without allocating (`out` must share
+    /// the universe).
+    pub fn union_into(&self, other: &ResultSet, out: &mut ResultSet) {
+        self.check(other);
+        self.check(out);
+        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a | b;
+        }
+    }
+
+    /// Overwrites `self` with `other`'s members without allocating.
+    pub fn copy_from(&mut self, other: &ResultSet) {
+        self.check(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Empties the set in place.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Fills the set with the whole universe in place (tail bits beyond the
+    /// universe stay zero, preserving the `len`/`iter` invariants).
+    pub fn set_full(&mut self) {
+        let universe = self.universe;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let remaining = universe - i * 64;
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
     }
 
     /// Whether `self ∩ other` is non-empty, short-circuiting.
@@ -192,12 +237,43 @@ impl ResultSet {
 
     /// Sum of `weights[i]` over members of `self ∩ other`, fused to avoid a
     /// temporary (ISKR's hottest operation: `S(R(q) ∩ C ∩ E(k))`).
-    pub fn weighted_intersection_sum(&self, other: &ResultSet, weights: &[f64]) -> f64 {
+    pub fn weighted_sum_and(&self, other: &ResultSet, weights: &[f64]) -> f64 {
         self.check(other);
         debug_assert_eq!(weights.len(), self.universe);
         let mut acc = 0.0;
         for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
             let mut w = a & b;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                acc += weights[wi * 64 + bit];
+                w &= w - 1;
+            }
+        }
+        acc
+    }
+
+    /// Sum of `weights[i]` over members of `self ∩ ¬minus ∩ and` — the
+    /// three-operand fusion behind every ISKR move valuation:
+    /// `S(R(q) ∩ E(k) ∩ C)` is `r.weighted_sum_and_not_and(contains, c, w)`,
+    /// with no delta set ever materialised.
+    pub fn weighted_sum_and_not_and(
+        &self,
+        minus: &ResultSet,
+        and: &ResultSet,
+        weights: &[f64],
+    ) -> f64 {
+        self.check(minus);
+        self.check(and);
+        debug_assert_eq!(weights.len(), self.universe);
+        let mut acc = 0.0;
+        for (wi, ((&a, &m), &c)) in self
+            .words
+            .iter()
+            .zip(&minus.words)
+            .zip(&and.words)
+            .enumerate()
+        {
+            let mut w = a & !m & c;
             while w != 0 {
                 let bit = w.trailing_zeros() as usize;
                 acc += weights[wi * 64 + bit];
@@ -294,7 +370,7 @@ mod tests {
         assert_eq!(a.and(&b).to_vec(), vec![2, 3]);
         assert_eq!(a.or(&b).to_vec(), vec![1, 2, 3, 4, 7]);
         assert_eq!(a.and_not(&b).to_vec(), vec![1, 7]);
-        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.intersect_count(&b), 2);
         assert!(a.intersects(&b));
     }
 
@@ -332,14 +408,49 @@ mod tests {
     }
 
     #[test]
-    fn weighted_intersection_sum_fused() {
+    fn weighted_sum_and_fused() {
         let weights: Vec<f64> = (0..70).map(|i| (i + 1) as f64).collect();
         let a = ResultSet::from_indices(70, [0, 5, 65]);
         let b = ResultSet::from_indices(70, [5, 65, 69]);
-        let fused = a.weighted_intersection_sum(&b, &weights);
+        let fused = a.weighted_sum_and(&b, &weights);
         let unfused = a.and(&b).weighted_sum(&weights);
         assert!((fused - unfused).abs() < 1e-12);
         assert!((fused - (6.0 + 66.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_ops_match_materialised_sets() {
+        let a = ResultSet::from_indices(130, [0, 5, 64, 100, 129]);
+        let b = ResultSet::from_indices(130, [5, 64, 128]);
+        assert_eq!(a.intersect_count(&b), a.and(&b).len());
+        assert_eq!(a.and_not_count(&b), a.and_not(&b).len());
+        let mut out = ResultSet::empty(130);
+        a.union_into(&b, &mut out);
+        assert_eq!(out, a.or(&b));
+    }
+
+    #[test]
+    fn copy_clear_set_full_in_place() {
+        let a = ResultSet::from_indices(70, [1, 69]);
+        let mut s = ResultSet::empty(70);
+        s.copy_from(&a);
+        assert_eq!(s, a);
+        s.set_full();
+        assert_eq!(s, ResultSet::full(70));
+        assert_eq!(s.iter().max(), Some(69), "no tail bits past the universe");
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn three_operand_fusion_matches_unfused() {
+        let weights: Vec<f64> = (0..200).map(|i| (i % 13) as f64 + 0.25).collect();
+        let a = ResultSet::from_indices(200, (0..200).step_by(3));
+        let m = ResultSet::from_indices(200, (0..200).step_by(5));
+        let c = ResultSet::from_indices(200, (0..200).step_by(2));
+        let fused = a.weighted_sum_and_not_and(&m, &c, &weights);
+        let unfused = a.and_not(&m).and(&c).weighted_sum(&weights);
+        assert!((fused - unfused).abs() < 1e-12);
     }
 
     #[test]

@@ -45,9 +45,9 @@ pub fn fmeasure_refine(inst: &QecInstance<'_>, config: &FMeasureConfig) -> Expan
     for _ in 0..config.max_iters {
         // Evaluate every candidate move exactly.
         let mut best: Option<(usize, f64, ResultSet)> = None;
-        for i in 0..n_cands {
+        for (i, &in_q) in in_query.iter().enumerate().take(n_cands) {
             let id = CandId(i as u32);
-            let candidate_r = if in_query[i] {
+            let candidate_r = if in_q {
                 if !config.allow_removal {
                     continue;
                 }

@@ -14,9 +14,13 @@
 //! * after a move with delta results `D`, only keywords that are absent
 //!   from at least one result of `D` can have changed value (§3,
 //!   "Identifying Keywords with Affected Values"), i.e. keywords `k'` with
-//!   `E(k') ∩ D ≠ ∅`; only those are recomputed. This maintenance rule is
-//!   the efficiency difference between ISKR and the exact ΔF baseline
-//!   (`crate::fmeasure`), and the ablation bench measures it.
+//!   `E(k') ∩ D ≠ ∅`. The arena's per-result eliminator map
+//!   ([`crate::problem::ExpansionArena::eliminators_of`]) gives those
+//!   keywords directly: ISKR walks the members of `D` and marks their
+//!   eliminators, never re-testing unaffected candidates. This maintenance
+//!   rule is the efficiency difference between ISKR and the exact ΔF
+//!   baseline (`crate::fmeasure`), and `bench_ablation` measures it against
+//!   a full rescan.
 //!
 //! Keyword *removal* matters (paper Example 3.2): a keyword that was the
 //! best first move can become strictly dominated once later keywords have
@@ -24,6 +28,17 @@
 //!
 //! A value of ∞ (cost = 0, benefit > 0) is a free win and always taken
 //! first. Ties break on lower candidate id, making runs deterministic.
+//!
+//! Allocation discipline
+//! ---------------------
+//! The hot loop is allocation-free. All working state — current results,
+//! the delta set, the per-candidate value cache, the affected marks, the
+//! query itself — lives in an [`IskrScratch`] that [`iskr_into`] reuses
+//! across calls; every per-move valuation runs on the fused three-operand
+//! bitset kernels (`weighted_sum_and_not_and`), so no temporary `ResultSet`
+//! is ever materialised. After one warm-up call on a given arena shape,
+//! subsequent calls perform **zero** heap allocations (enforced by the
+//! `zero_alloc` integration test).
 
 use crate::bitset::ResultSet;
 use crate::metrics::QueryQuality;
@@ -38,6 +53,10 @@ pub struct IskrConfig {
     /// Allow removal moves (paper Example 3.2). Disabling this is the
     /// "add-only" ablation.
     pub allow_removal: bool,
+    /// Use the §3 affected-keywords maintenance rule. Disabling it revalues
+    /// every candidate after every move — the full-rescan ablation that
+    /// `bench_ablation` compares against. Results are identical either way.
+    pub affected_only: bool,
 }
 
 impl Default for IskrConfig {
@@ -45,6 +64,7 @@ impl Default for IskrConfig {
         Self {
             max_iters: 200,
             allow_removal: true,
+            affected_only: true,
         }
     }
 }
@@ -62,8 +82,6 @@ pub struct ExpandedQuery {
 /// Per-candidate cached move valuation.
 #[derive(Debug, Clone, Copy)]
 struct MoveValue {
-    benefit: f64,
-    cost: f64,
     value: f64,
 }
 
@@ -78,36 +96,113 @@ impl MoveValue {
         } else {
             benefit / cost
         };
-        Self {
-            benefit,
-            cost,
-            value,
+        Self { value }
+    }
+}
+
+/// Reusable working state for [`iskr_into`]. Construct once, feed to any
+/// number of runs. Candidate-indexed buffers grow to the largest count
+/// seen; the bitset buffers are retargeted (reallocated) whenever the
+/// arena universe differs from the previous run's, so the zero-allocation
+/// guarantee holds for runs of the same arena size — alternate sizes and
+/// you pay a retarget per switch.
+#[derive(Debug, Default)]
+pub struct IskrScratch {
+    values: Vec<MoveValue>,
+    in_query: Vec<bool>,
+    affected: Vec<bool>,
+    query: Vec<CandId>,
+    /// `R(q)` for the current query.
+    r: ResultSet,
+    /// `R(q \ k)` workspace for removal valuations.
+    r_without: ResultSet,
+    /// Delta results of the last applied move.
+    delta: ResultSet,
+    /// Output: the added keywords of the last run, ascending.
+    added: Vec<CandId>,
+}
+
+impl IskrScratch {
+    /// Fresh scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Added keywords of the most recent [`iskr_into`] run (ascending ids).
+    pub fn added(&self) -> &[CandId] {
+        &self.added
+    }
+
+    /// Grows every buffer for an arena of `universe` results and `n_cands`
+    /// candidates. No-op (and allocation-free) when already large enough.
+    fn ensure(&mut self, universe: usize, n_cands: usize) {
+        if self.r.universe() != universe {
+            self.r = ResultSet::empty(universe);
+            self.r_without = ResultSet::empty(universe);
+            self.delta = ResultSet::empty(universe);
+        }
+        if self.values.len() < n_cands {
+            self.values.resize(n_cands, MoveValue { value: 0.0 });
+            self.in_query.resize(n_cands, false);
+            self.affected.resize(n_cands, false);
+        }
+        self.query.clear();
+        if self.query.capacity() < n_cands {
+            self.query.reserve(n_cands);
+        }
+        if self.added.capacity() < n_cands {
+            self.added.reserve(n_cands);
         }
     }
 }
 
-/// Runs ISKR on one cluster instance.
+/// Runs ISKR on one cluster instance with a fresh scratch.
 pub fn iskr(inst: &QecInstance<'_>, config: &IskrConfig) -> ExpandedQuery {
+    let mut scratch = IskrScratch::new();
+    let quality = iskr_into(inst, config, &mut scratch);
+    ExpandedQuery {
+        added: scratch.added.clone(),
+        quality,
+    }
+}
+
+/// Runs ISKR on one cluster instance, reusing `scratch` for all working
+/// state. The added keywords land in [`IskrScratch::added`]; the returned
+/// quality is computed from the final result set. After one warm-up call on
+/// an arena of the same shape, this performs no heap allocation.
+pub fn iskr_into(
+    inst: &QecInstance<'_>,
+    config: &IskrConfig,
+    scratch: &mut IskrScratch,
+) -> QueryQuality {
     let arena = inst.arena;
     let n_cands = arena.num_candidates();
-    let mut in_query = vec![false; n_cands];
-    let mut query: Vec<CandId> = Vec::new();
-    let mut r = ResultSet::full(arena.size());
+    scratch.ensure(arena.size(), n_cands);
+    let IskrScratch {
+        values,
+        in_query,
+        affected,
+        query,
+        r,
+        r_without,
+        delta,
+        added,
+    } = scratch;
+    in_query[..n_cands].fill(false);
+    r.set_full();
 
     // Initial valuation of every candidate (all are add moves).
-    let mut values: Vec<MoveValue> = (0..n_cands)
-        .map(|i| add_value(inst, &r, CandId(i as u32)))
-        .collect();
+    for (i, v) in values[..n_cands].iter_mut().enumerate() {
+        *v = add_value(inst, r, CandId(i as u32));
+    }
 
     for _ in 0..config.max_iters {
         // Best move by value; ties on lower id.
         let mut best: Option<(usize, f64)> = None;
-        for (i, mv) in values.iter().enumerate() {
+        for (i, mv) in values[..n_cands].iter().enumerate() {
             if !config.allow_removal && in_query[i] {
                 continue;
             }
-            // Skip no-op adds: a keyword containing every current result
-            // changes nothing even if its stale value says otherwise.
             match best {
                 Some((_, bv)) if mv.value <= bv => {}
                 _ => {
@@ -120,21 +215,21 @@ pub fn iskr(inst: &QecInstance<'_>, config: &IskrConfig) -> ExpandedQuery {
         let Some((best_idx, _)) = best else { break };
         let k = CandId(best_idx as u32);
 
-        // Apply the move and compute its delta results.
-        let delta: ResultSet;
+        // Apply the move and compute its delta results into `delta`.
         if in_query[best_idx] {
-            // Remove k: results gained back.
-            let mut rest = query.clone();
-            rest.retain(|&c| c != k);
-            let r_without = arena.results_of(&rest);
-            delta = r_without.and_not(&r);
-            r = r_without;
-            query = rest;
+            // Remove k: results gained back. R(q \ k) re-derives from the
+            // remaining keywords' containment sets.
+            results_without(inst, query, Some(k), r_without);
+            delta.copy_from(r_without);
+            delta.and_not_assign(r);
+            std::mem::swap(r, r_without);
+            query.retain(|&c| c != k);
             in_query[best_idx] = false;
         } else {
             // Add k: results eliminated.
             let contains = &arena.candidate(k).contains;
-            delta = r.and_not(contains);
+            delta.copy_from(r);
+            delta.and_not_assign(contains);
             r.and_assign(contains);
             query.push(k);
             in_query[best_idx] = true;
@@ -147,57 +242,91 @@ pub fn iskr(inst: &QecInstance<'_>, config: &IskrConfig) -> ExpandedQuery {
         }
 
         // Maintenance (§3): an *add* value can only change if the keyword
-        // is missing from at least one delta result, so those are the only
-        // ones recomputed — this is the paper's efficiency claim. Removal
-        // values of in-query keywords depend on the whole query, not just
-        // the delta (the paper's own Example 3.2 requires the removal value
-        // of "job" to refresh after a move whose delta "job" contains), so
-        // the handful of in-query keywords are always recomputed exactly.
+        // eliminates at least one delta result; the arena's inverted
+        // eliminator map yields exactly those keywords from `delta`'s
+        // members. Removal values of in-query keywords depend on the whole
+        // query, not just the delta (the paper's own Example 3.2 requires
+        // the removal value of "job" to refresh after a move whose delta
+        // "job" contains), so the handful of in-query keywords are always
+        // recomputed exactly.
+        if config.affected_only {
+            affected[..n_cands].fill(false);
+            // Two ways to find `{k' : E(k') ∩ D ≠ ∅}`; pick the cheaper by
+            // estimated cost. The inverted map costs one mark per
+            // (delta-result, eliminating-candidate) pair; the direct test
+            // costs one early-exit word-parallel subset check per
+            // candidate. Small deltas favour the map, big deltas the scan.
+            let map_cost = delta.len() * arena.avg_eliminators();
+            let scan_cost = n_cands * arena.size().div_ceil(64);
+            if map_cost <= scan_cost {
+                for d in delta.iter() {
+                    for &c in arena.eliminators_of(d) {
+                        affected[c.index()] = true;
+                    }
+                }
+            } else {
+                for (i, slot) in affected[..n_cands].iter_mut().enumerate() {
+                    *slot = !delta.is_subset_of(&arena.candidate(CandId(i as u32)).contains);
+                }
+            }
+            affected[best_idx] = true;
+        } else {
+            affected[..n_cands].fill(true);
+        }
         for i in 0..n_cands {
             let id = CandId(i as u32);
             if in_query[i] {
-                values[i] = remove_value(inst, &r, &query, id);
-                continue;
-            }
-            let affected =
-                i == best_idx || !delta.is_subset_of(&arena.candidate(id).contains);
-            if affected {
-                values[i] = add_value(inst, &r, id);
+                values[i] = remove_value(inst, r, query, id, r_without);
+            } else if affected[i] {
+                values[i] = add_value(inst, r, id);
             }
         }
     }
 
-    query.sort_unstable();
-    ExpandedQuery {
-        quality: inst.quality_of(&r),
-        added: query,
+    added.clear();
+    added.extend_from_slice(query);
+    added.sort_unstable();
+    inst.quality_of(r)
+}
+
+/// Writes `R(uq ∪ query \ skip)` into `out` without allocating.
+fn results_without(
+    inst: &QecInstance<'_>,
+    query: &[CandId],
+    skip: Option<CandId>,
+    out: &mut ResultSet,
+) {
+    out.set_full();
+    for &c in query {
+        if Some(c) != skip {
+            out.and_assign(&inst.arena.candidate(c).contains);
+        }
     }
 }
 
 /// Valuation of adding `k` to the current query with result set `r`.
+/// `D = R(q) ∩ E(k)`; both weighted sums run fused, with no temporary set.
 fn add_value(inst: &QecInstance<'_>, r: &ResultSet, k: CandId) -> MoveValue {
     let contains = &inst.arena.candidate(k).contains;
-    // D = R(q) ∩ E(k) = R(q) \ contains(k).
-    let delta = r.and_not(contains);
-    let benefit = delta.weighted_intersection_sum(&inst.universe_set, &inst.arena.weights);
-    let cost = delta.weighted_intersection_sum(&inst.cluster, &inst.arena.weights);
+    let w = &inst.arena.weights;
+    let benefit = r.weighted_sum_and_not_and(contains, &inst.universe_set, w);
+    let cost = r.weighted_sum_and_not_and(contains, &inst.cluster, w);
     MoveValue::from_benefit_cost(benefit, cost)
 }
 
 /// Valuation of removing `k` (currently in `query`) from the query with
-/// result set `r`.
+/// result set `r`. `D = R(q\k) \ R(q)`; `r_without` is scratch space.
 fn remove_value(
     inst: &QecInstance<'_>,
     r: &ResultSet,
     query: &[CandId],
     k: CandId,
+    r_without: &mut ResultSet,
 ) -> MoveValue {
-    let mut rest: Vec<CandId> = query.to_vec();
-    rest.retain(|&c| c != k);
-    let r_without = inst.arena.results_of(&rest);
-    let delta = r_without.and_not(r);
-    let benefit = delta.weighted_intersection_sum(&inst.cluster, &inst.arena.weights);
-    let cost = delta.weighted_intersection_sum(&inst.universe_set, &inst.arena.weights);
+    results_without(inst, query, Some(k), r_without);
+    let w = &inst.arena.weights;
+    let benefit = r_without.weighted_sum_and_not_and(r, &inst.cluster, w);
+    let cost = r_without.weighted_sum_and_not_and(r, &inst.universe_set, w);
     MoveValue::from_benefit_cost(benefit, cost)
 }
 
@@ -243,9 +372,7 @@ mod tests {
     fn reproduces_paper_examples_3_1_and_3_2() {
         // The paper walks ISKR to q = {apple, store, location}: after
         // adding job, store, location, the removal of job becomes
-        // beneficial (Example 3.2), and the final F-measure corresponds to
-        // retrieving {R6, R7, R8} ⊆ C and nothing of U — wait: the paper's
-        // narrative ends with q = {apple, store, location}, which retrieves
+        // beneficial (Example 3.2); the final query retrieves
         // C: {R6, R7, R8}, U: ∅ (precision 1, recall 3/8).
         let (arena, cluster) = example_3_1();
         let inst = QecInstance::new(&arena, cluster);
@@ -272,6 +399,36 @@ mod tests {
         // Removal strictly improves the F-measure here.
         let with_removal = iskr(&inst, &IskrConfig::default());
         assert!(with_removal.quality.fmeasure > out.quality.fmeasure);
+    }
+
+    #[test]
+    fn affected_only_matches_full_rescan() {
+        // The §3 maintenance rule is an optimisation, not an approximation:
+        // both maintenance modes must land on the same query.
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        let fast = iskr(&inst, &IskrConfig::default());
+        let slow = iskr(
+            &inst,
+            &IskrConfig { affected_only: false, ..Default::default() },
+        );
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic_across_instances() {
+        let (arena, cluster) = example_3_1();
+        let inst = QecInstance::new(&arena, cluster);
+        let mut scratch = IskrScratch::new();
+        let q1 = iskr_into(&inst, &IskrConfig::default(), &mut scratch);
+        let added1: Vec<CandId> = scratch.added().to_vec();
+        // A different instance in between must not contaminate the next run.
+        let other = QecInstance::from_members(&arena, [0, 1]);
+        let _ = iskr_into(&other, &IskrConfig::default(), &mut scratch);
+        let q2 = iskr_into(&inst, &IskrConfig::default(), &mut scratch);
+        assert_eq!(q1, q2);
+        assert_eq!(added1, scratch.added());
+        assert_eq!(q1, iskr(&inst, &IskrConfig::default()).quality);
     }
 
     #[test]
@@ -341,7 +498,7 @@ mod tests {
         let n = 64;
         let mut candidates = Vec::new();
         for i in 0..32u32 {
-            let members: Vec<usize> = (0..n).filter(|&j| (j + i as usize) % 3 != 0).collect();
+            let members: Vec<usize> = (0..n).filter(|&j| !(j + i as usize).is_multiple_of(3)).collect();
             candidates.push(Candidate {
                 term: TermId(i),
                 contains: ResultSet::from_indices(n, members),

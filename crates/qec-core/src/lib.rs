@@ -1,0 +1,31 @@
+//! Expansion algorithms for the QEC reproduction (the paper's core).
+//!
+//! Built on the retrieval substrate of `qec-index`, this crate contains
+//! everything downstream of "the user query has been run and clustered":
+//!
+//! * [`bitset`] — dense fixed-universe bitsets over the result arena, with
+//!   the fused counting kernels ISKR's inner loop runs on.
+//! * [`metrics`] — weighted precision/recall/F-measure and the overall
+//!   harmonic-mean score (§2, Eq. 1).
+//! * [`problem`] — the [`ExpansionArena`] / [`QecInstance`] problem model
+//!   (Definitions 2.1/2.2), including the per-result eliminator map that
+//!   realises §3's "affected keywords only" maintenance rule.
+//! * [`iskr`] — Iterative Single-Keyword Refinement (Algorithm 1), with a
+//!   reusable [`IskrScratch`] making every move valuation allocation-free.
+//! * [`fmeasure`] — the exact-ΔF greedy baseline (§5's "F-measure" method).
+//! * [`parallel`] — scoped-thread fan-out of independent per-cluster
+//!   expansions (the offline-build substitute for rayon).
+
+pub mod bitset;
+pub mod fmeasure;
+pub mod iskr;
+pub mod metrics;
+pub mod parallel;
+pub mod problem;
+
+pub use bitset::ResultSet;
+pub use fmeasure::{fmeasure_refine, FMeasureConfig};
+pub use iskr::{iskr, iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
+pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
+pub use parallel::{expand_clusters, expand_clusters_with_threads};
+pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance};

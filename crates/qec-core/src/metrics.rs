@@ -26,7 +26,7 @@ pub struct QueryQuality {
 ///
 /// All three values are in `[0, 1]` provided weights are non-negative.
 pub fn query_quality(r: &ResultSet, c: &ResultSet, weights: &[f64]) -> QueryQuality {
-    let s_rc = r.weighted_intersection_sum(c, weights);
+    let s_rc = r.weighted_sum_and(c, weights);
     let s_r = r.weighted_sum(weights);
     let s_c = c.weighted_sum(weights);
     let precision = if s_r > 0.0 { s_rc / s_r } else { 0.0 };
@@ -147,12 +147,16 @@ mod tests {
     }
 
     #[test]
-    fn overall_score_leq_min() {
+    fn overall_score_between_min_and_arithmetic_mean() {
+        // The harmonic mean is bounded below by the minimum and above by
+        // the arithmetic mean (AM–HM inequality) — it punishes the weakest
+        // expanded query without dropping beneath it.
         let fs = [0.9, 0.5, 0.7];
         let s = overall_score(&fs);
         let min = fs.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(s <= min + 1e-12);
-        assert!(s > 0.0);
+        let mean = fs.iter().sum::<f64>() / fs.len() as f64;
+        assert!(s >= min - 1e-12);
+        assert!(s <= mean + 1e-12);
     }
 
     #[test]

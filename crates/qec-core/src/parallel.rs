@@ -1,0 +1,151 @@
+//! Parallel expansion of independent per-cluster instances.
+//!
+//! The paper expands each cluster of the original result list separately;
+//! the instances share the (immutable) arena and nothing else, so they
+//! parallelise embarrassingly. This is the seam where `rayon` would plug
+//! in; the offline build fans out over `std::thread::scope` instead — each
+//! worker owns one [`IskrScratch`] for its whole batch, so the
+//! zero-allocation discipline of the sequential path carries over (one
+//! scratch warm-up per worker, not per cluster).
+//!
+//! Clusters are dealt to workers in strides (worker `w` takes clusters
+//! `w, w + t, w + 2t, …`), which balances the common skew where the first
+//! clusters are the big ones. Output order matches input order regardless
+//! of scheduling, and a single worker degrades to the exact sequential
+//! algorithm — results are identical at any thread count.
+
+use crate::bitset::ResultSet;
+use crate::iskr::{iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
+use crate::problem::{ExpansionArena, QecInstance};
+
+/// Expands every cluster with ISKR, using up to
+/// `std::thread::available_parallelism()` worker threads.
+pub fn expand_clusters(
+    arena: &ExpansionArena,
+    clusters: &[ResultSet],
+    config: &IskrConfig,
+) -> Vec<ExpandedQuery> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    expand_clusters_with_threads(arena, clusters, config, threads)
+}
+
+/// Expands every cluster with ISKR on exactly `threads` workers (clamped to
+/// the cluster count; `0` is treated as `1`).
+pub fn expand_clusters_with_threads(
+    arena: &ExpansionArena,
+    clusters: &[ResultSet],
+    config: &IskrConfig,
+    threads: usize,
+) -> Vec<ExpandedQuery> {
+    let n = clusters.len();
+    let threads = threads.clamp(1, n.max(1));
+    let mut out: Vec<Option<ExpandedQuery>> = vec![None; n];
+
+    if threads == 1 {
+        let mut scratch = IskrScratch::new();
+        for (slot, cluster) in out.iter_mut().zip(clusters) {
+            *slot = Some(expand_one(arena, cluster, config, &mut scratch));
+        }
+    } else {
+        // Hand each worker a strided view of the output slots; the stripes
+        // are disjoint, so no synchronisation beyond the scope join.
+        let slots: Vec<(usize, &mut Option<ExpandedQuery>)> =
+            out.iter_mut().enumerate().collect();
+        let mut stripes: Vec<Vec<(usize, &mut Option<ExpandedQuery>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, slot) in slots {
+            stripes[i % threads].push((i, slot));
+        }
+        std::thread::scope(|scope| {
+            for stripe in stripes {
+                scope.spawn(move || {
+                    let mut scratch = IskrScratch::new();
+                    for (i, slot) in stripe {
+                        *slot = Some(expand_one(arena, &clusters[i], config, &mut scratch));
+                    }
+                });
+            }
+        });
+    }
+
+    out.into_iter()
+        .map(|q| q.expect("every cluster expanded"))
+        .collect()
+}
+
+fn expand_one(
+    arena: &ExpansionArena,
+    cluster: &ResultSet,
+    config: &IskrConfig,
+    scratch: &mut IskrScratch,
+) -> ExpandedQuery {
+    let inst = QecInstance::new(arena, cluster.clone());
+    let quality = iskr_into(&inst, config, scratch);
+    ExpandedQuery {
+        added: scratch.added().to_vec(),
+        quality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iskr::iskr;
+    use crate::problem::Candidate;
+    use qec_text::TermId;
+
+    fn arena_with_clusters(n: usize, n_clusters: usize) -> (ExpansionArena, Vec<ResultSet>) {
+        // Deterministic structured arena: candidate i contains results with
+        // (j * (i + 2)) % 7 != 0; clusters are contiguous slices.
+        let candidates: Vec<Candidate> = (0..24u32)
+            .map(|i| Candidate {
+                term: TermId(i),
+                contains: ResultSet::from_indices(
+                    n,
+                    (0..n).filter(|&j| !(j * (i as usize + 2)).is_multiple_of(7)),
+                ),
+            })
+            .collect();
+        let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
+        let per = n / n_clusters;
+        let clusters: Vec<ResultSet> = (0..n_clusters)
+            .map(|c| {
+                let lo = c * per;
+                let hi = if c == n_clusters - 1 { n } else { lo + per };
+                ResultSet::from_indices(n, lo..hi)
+            })
+            .collect();
+        (arena, clusters)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_any_thread_count() {
+        let (arena, clusters) = arena_with_clusters(96, 6);
+        let config = IskrConfig::default();
+        let sequential: Vec<ExpandedQuery> = clusters
+            .iter()
+            .map(|c| iskr(&QecInstance::new(&arena, c.clone()), &config))
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel =
+                expand_clusters_with_threads(&arena, &clusters, &config, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn auto_thread_count_runs() {
+        let (arena, clusters) = arena_with_clusters(64, 4);
+        let out = expand_clusters(&arena, &clusters, &IskrConfig::default());
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn empty_cluster_list() {
+        let (arena, _) = arena_with_clusters(32, 2);
+        let out = expand_clusters(&arena, &[], &IskrConfig::default());
+        assert!(out.is_empty());
+    }
+}

@@ -74,6 +74,15 @@ pub struct ExpansionArena {
     pub weights: Vec<f64>,
     /// Candidate keywords, sorted by descending arena tf·idf.
     pub candidates: Vec<Candidate>,
+    /// Result → candidates that eliminate it: `eliminators[d]` lists every
+    /// `k` with `d ∈ E(k)`. This is the inverted form of §3's maintenance
+    /// rule — after a move with delta `D`, the keywords whose values may
+    /// have changed are exactly `⋃_{d ∈ D} eliminators[d]`, so ISKR walks
+    /// `D`'s members instead of re-testing every candidate.
+    eliminators: Vec<Vec<CandId>>,
+    /// Total entries across `eliminators` (= Σ_k |E(k)|), cached so ISKR
+    /// can estimate the cost of a map walk before committing to it.
+    eliminator_entries: usize,
 }
 
 impl ExpansionArena {
@@ -146,10 +155,14 @@ impl ExpansionArena {
             })
             .collect();
 
+        let eliminators = eliminator_map(n, &candidates);
+        let eliminator_entries = eliminators.iter().map(Vec::len).sum();
         Self {
             docs: docs.to_vec(),
             weights,
             candidates,
+            eliminators,
+            eliminator_entries,
         }
     }
 
@@ -161,10 +174,14 @@ impl ExpansionArena {
         for c in &candidates {
             assert_eq!(c.contains.universe(), n, "candidate universe mismatch");
         }
+        let eliminators = eliminator_map(n, &candidates);
+        let eliminator_entries = eliminators.iter().map(Vec::len).sum();
         Self {
             docs: (0..n as u32).map(DocId).collect(),
             weights,
             candidates,
+            eliminators,
+            eliminator_entries,
         }
     }
 
@@ -189,6 +206,23 @@ impl ExpansionArena {
         &self.candidates[id.index()]
     }
 
+    /// Candidates whose elimination set contains arena result `result`
+    /// (i.e. candidates *not* containing it), in ascending id order.
+    #[inline]
+    pub fn eliminators_of(&self, result: usize) -> &[CandId] {
+        &self.eliminators[result]
+    }
+
+    /// Mean eliminator-list length per result (0 for an empty arena) —
+    /// the expected cost of one map step in an affected-keywords walk.
+    pub fn avg_eliminators(&self) -> usize {
+        if self.size() == 0 {
+            0
+        } else {
+            self.eliminator_entries / self.size()
+        }
+    }
+
     /// `R(uq ∪ added)`: results containing every added keyword. The
     /// original query matches the whole arena by construction, so with no
     /// additions this is the full set.
@@ -199,6 +233,21 @@ impl ExpansionArena {
         }
         r
     }
+}
+
+/// Builds the result → eliminating-candidates map (the complement view of
+/// the `contains` bitsets).
+fn eliminator_map(n: usize, candidates: &[Candidate]) -> Vec<Vec<CandId>> {
+    let mut map: Vec<Vec<CandId>> = vec![Vec::new(); n];
+    for (i, cand) in candidates.iter().enumerate() {
+        let id = CandId(i as u32);
+        for (d, slot) in map.iter_mut().enumerate() {
+            if !cand.contains.contains(d) {
+                slot.push(id);
+            }
+        }
+    }
+    map
 }
 
 /// Scales weights so they sum to the arena size (keeps `S(·)` on the same
@@ -346,6 +395,25 @@ mod tests {
     }
 
     #[test]
+    fn eliminator_map_inverts_contains() {
+        let (arena, _) = example_3_1();
+        for d in 0..arena.size() {
+            for id in arena.candidate_ids() {
+                let eliminates = arena.eliminators_of(d).contains(&id);
+                assert_eq!(
+                    eliminates,
+                    !arena.candidate(id).contains.contains(d),
+                    "result {d}, candidate {id:?}"
+                );
+            }
+            assert!(
+                arena.eliminators_of(d).windows(2).all(|w| w[0] < w[1]),
+                "eliminators sorted for result {d}"
+            );
+        }
+    }
+
+    #[test]
     fn arena_build_from_corpus_excludes_query_terms_and_universal_terms() {
         let mut b = CorpusBuilder::new();
         let d0 = b.add_document(DocumentSpec::text("", "apple iphone store common"));
@@ -398,7 +466,7 @@ mod tests {
             .map(|i| {
                 b.add_document(DocumentSpec::text(
                     "",
-                    &format!("seed word{i} extra{} bonus{}", i % 3, i % 5),
+                    format!("seed word{i} extra{} bonus{}", i % 3, i % 5),
                 ))
             })
             .collect();

@@ -87,13 +87,16 @@ impl CorpusBuilder {
         id
     }
 
-    /// Freezes the builder into an immutable [`Corpus`].
+    /// Freezes the builder into an immutable [`Corpus`]. This finalizes the
+    /// index, choosing each term's hybrid posting representation.
     pub fn build(self) -> Corpus {
+        let mut index = self.index;
+        index.finalize();
         Corpus {
             analyzer: self.analyzer,
             docs: self.docs,
             doc_terms: self.doc_terms,
-            index: self.index,
+            index,
         }
     }
 }

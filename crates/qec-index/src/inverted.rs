@@ -1,11 +1,19 @@
 //! The inverted index: term → posting list.
 //!
-//! Posting lists are kept sorted by [`DocId`], which makes AND queries a
-//! linear intersection and OR queries a linear merge. Lists are built
+//! Posting lists are kept sorted by [`DocId`]. Lists are built
 //! incrementally by [`crate::CorpusBuilder`]; documents are added in id
 //! order, so appends keep lists sorted without an explicit sort.
+//!
+//! Alongside the tf-carrying posting lists, [`InvertedIndex::finalize`]
+//! freezes a **hybrid document-id representation** per term — sorted id
+//! vector for sparse terms, dense bitmap for terms with
+//! `df ≥ num_docs / 64` (see [`crate::postings`] for the rationale and the
+//! intersection kernels). Retrieval reads the hybrid side through
+//! [`InvertedIndex::doc_ids`]; tf/idf statistics keep using the posting
+//! lists.
 
 use crate::doc::DocId;
+use crate::postings::{DocBitmap, PostingsView};
 use qec_text::TermId;
 
 /// One entry of a posting list: a document and the term's frequency in it.
@@ -17,10 +25,20 @@ pub struct Posting {
     pub tf: u32,
 }
 
+/// One term's frozen document-id set (hybrid representation).
+#[derive(Debug, Clone)]
+enum HybridPostings {
+    Sorted(Vec<DocId>),
+    Bitmap(DocBitmap),
+}
+
 /// Term → sorted posting list, keyed by dense [`TermId`].
 #[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
     lists: Vec<Vec<Posting>>,
+    /// Hybrid doc-id representations, built by [`Self::finalize`]; empty
+    /// while the index is still being mutated.
+    hybrid: Vec<HybridPostings>,
     num_docs: u32,
     total_postings: u64,
 }
@@ -50,6 +68,55 @@ impl InvertedIndex {
             self.total_postings += 1;
         }
         self.num_docs = self.num_docs.max(doc.0 + 1);
+        // Any mutation invalidates the frozen hybrid side.
+        self.hybrid.clear();
+    }
+
+    /// Freezes the hybrid doc-id representation: a term goes dense when its
+    /// df reaches one document per bitmap word (`df · 64 ≥ num_docs`), the
+    /// point where a bitmap stops costing more memory than the id vector.
+    /// Idempotent; [`Self::add_document`] un-freezes.
+    pub fn finalize(&mut self) {
+        if !self.hybrid.is_empty() || self.lists.is_empty() {
+            return;
+        }
+        let n = self.num_docs as usize;
+        self.hybrid = self
+            .lists
+            .iter()
+            .map(|list| {
+                if list.len() * 64 >= n && n > 0 {
+                    let mut b = DocBitmap::empty(n);
+                    for p in list {
+                        b.insert(p.doc);
+                    }
+                    HybridPostings::Bitmap(b)
+                } else {
+                    HybridPostings::Sorted(list.iter().map(|p| p.doc).collect())
+                }
+            })
+            .collect();
+    }
+
+    /// Whether [`Self::finalize`] has run since the last mutation.
+    pub fn is_finalized(&self) -> bool {
+        self.hybrid.len() == self.lists.len()
+    }
+
+    /// The frozen document-id set of `term` (empty sorted view for unseen
+    /// terms). Panics if the index was mutated after [`Self::finalize`] —
+    /// the corpus builder freezes exactly once, at [`crate::Corpus`] build.
+    #[inline]
+    pub fn doc_ids(&self, term: TermId) -> PostingsView<'_> {
+        assert!(
+            self.is_finalized() || self.lists.is_empty(),
+            "InvertedIndex::finalize() must run before doc_ids()"
+        );
+        match self.hybrid.get(term.index()) {
+            Some(HybridPostings::Sorted(ids)) => PostingsView::Sorted(ids),
+            Some(HybridPostings::Bitmap(b)) => PostingsView::Bitmap(b),
+            None => PostingsView::Sorted(&[]),
+        }
     }
 
     /// The posting list for `term` (empty slice for unseen terms).
@@ -180,5 +247,53 @@ mod tests {
         assert_eq!(idx.num_docs(), 0);
         assert_eq!(idx.postings(t(0)), &[]);
         assert_eq!(idx.idf(t(0)), 0.0);
+    }
+
+    #[test]
+    fn finalize_picks_representation_by_density() {
+        // 200 docs; t0 in every doc (dense → bitmap), t1 in two docs
+        // (sparse → sorted: 2 · 64 < 200).
+        let mut idx = InvertedIndex::new();
+        for i in 0..200 {
+            let terms: Vec<(TermId, u32)> = if i == 3 || i == 150 {
+                vec![(t(0), 1), (t(1), 1)]
+            } else {
+                vec![(t(0), 1)]
+            };
+            idx.add_document(d(i), &terms);
+        }
+        assert!(!idx.is_finalized());
+        idx.finalize();
+        assert!(idx.is_finalized());
+        match idx.doc_ids(t(0)) {
+            PostingsView::Bitmap(b) => assert_eq!(b.len(), 200),
+            PostingsView::Sorted(_) => panic!("dense term should freeze to bitmap"),
+        }
+        match idx.doc_ids(t(1)) {
+            PostingsView::Sorted(ids) => assert_eq!(ids, &[d(3), d(150)]),
+            PostingsView::Bitmap(_) => panic!("sparse term should stay sorted"),
+        }
+        // Unseen terms read as an empty sorted view.
+        assert!(idx.doc_ids(t(99)).is_empty());
+    }
+
+    #[test]
+    fn mutation_unfreezes() {
+        let mut idx = sample_index();
+        idx.finalize();
+        assert!(idx.is_finalized());
+        idx.add_document(d(3), &[(t(0), 1)]);
+        assert!(!idx.is_finalized());
+        idx.finalize();
+        assert_eq!(idx.doc_ids(t(0)).len(), 3);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut idx = sample_index();
+        idx.finalize();
+        idx.finalize();
+        assert!(idx.is_finalized());
+        assert_eq!(idx.doc_ids(t(2)).len(), 1);
     }
 }

@@ -9,18 +9,23 @@
 //!   structured documents ("a set of `(entity:attribute:value)` features").
 //! * [`corpus`] — document store plus corpus statistics, built through a
 //!   shared [`qec_text::Analyzer`].
-//! * [`inverted`] — the inverted index (term → posting list).
+//! * [`inverted`] — the inverted index (term → posting list) with a frozen
+//!   hybrid doc-id side.
+//! * [`postings`] — hybrid posting representations (sorted ids / dense
+//!   bitmap) and the adaptive galloping intersection kernels.
 //! * [`search`] — boolean retrieval with AND and OR semantics.
 //! * [`rank`] — TF-IDF ranking and top-k selection.
 
 pub mod corpus;
 pub mod doc;
 pub mod inverted;
+pub mod postings;
 pub mod rank;
 pub mod search;
 
 pub use corpus::{Corpus, CorpusBuilder};
 pub use doc::{DocId, DocumentSpec, Feature};
 pub use inverted::{InvertedIndex, Posting};
+pub use postings::{intersect_sorted_into, DocBitmap, PostingsView};
 pub use rank::{rank_and_query, Hit, TfIdfRanker};
-pub use search::{QuerySemantics, Searcher};
+pub use search::{QuerySemantics, SearchScratch, Searcher};

@@ -1,13 +1,41 @@
-//! Boolean retrieval: AND and OR semantics over posting lists.
+//! Boolean retrieval: AND and OR semantics over hybrid posting lists.
 //!
 //! The paper defines a result as a data unit containing **all** query
 //! keywords (AND semantics); its appendix notes OR semantics reduces to the
-//! identical expansion problem, so both are provided. Intersections and
-//! merges are linear in the posting lists involved; AND intersects in
-//! ascending-df order so the candidate set shrinks as early as possible.
+//! identical expansion problem, so both are provided.
+//!
+//! AND strategy
+//! ------------
+//! Terms are intersected in ascending-df order so the running result
+//! shrinks as early as possible. Because the index freezes sparse terms to
+//! sorted ids and dense terms to bitmaps (df threshold `N/64`, see
+//! [`crate::postings`]), the df ordering also groups representations:
+//! every sorted term precedes every bitmap term. The query loop therefore
+//! seeds from the rarest sorted list, runs the adaptive
+//! linear/galloping kernel against the remaining sorted lists, and finishes
+//! with `O(1)`-per-id bitmap probes — or, when every term is dense,
+//! word-ANDs the bitmaps and decodes once at the end.
+//!
+//! All intermediate state lives in a caller-reusable [`SearchScratch`]; a
+//! warmed scratch makes the whole AND pipeline allocation-free, which is
+//! what the expansion benchmarks and any future serving path want.
+//!
+//! OR strategy
+//! -----------
+//! A k-way merge: with any dense term present the union accumulates into a
+//! bitmap (word-wise ORs plus single inserts for sparse ids) and decodes
+//! once; with only sparse terms a binary heap merges the k sorted lists in
+//! `O(total · log k)` instead of the old repeated pairwise merges'
+//! `O(total · k)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::corpus::Corpus;
 use crate::doc::DocId;
+use crate::postings::{
+    intersect_sorted_into, retain_in_bitmap, DocBitmap, PostingsView,
+};
 use qec_text::TermId;
 
 /// Which boolean semantics a query uses.
@@ -18,6 +46,33 @@ pub enum QuerySemantics {
     And,
     /// A result must contain at least one keyword.
     Or,
+}
+
+/// Reusable buffers for query evaluation. Feed the same scratch to many
+/// queries and the buffers stabilise at the high-water mark — after which
+/// AND evaluation performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Result accumulator; holds the final doc ids after a query.
+    cur: Vec<DocId>,
+    /// Double-buffer partner of `cur` for sorted∧sorted rounds.
+    next: Vec<DocId>,
+    /// Deduplicated query terms in evaluation order.
+    terms: Vec<TermId>,
+    /// Accumulator for bitmap∧bitmap / bitmap-union evaluation.
+    bitmap: Option<DocBitmap>,
+}
+
+impl SearchScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The result of the last query evaluated into this scratch.
+    pub fn results(&self) -> &[DocId] {
+        &self.cur
+    }
 }
 
 /// Boolean searcher over a frozen [`Corpus`].
@@ -52,42 +107,131 @@ impl<'c> Searcher<'c> {
 
     /// AND semantics: documents containing every term.
     pub fn and_query(&self, terms: &[TermId]) -> Vec<DocId> {
+        let mut scratch = SearchScratch::new();
+        self.and_query_into(terms, &mut scratch);
+        std::mem::take(&mut scratch.cur)
+    }
+
+    /// AND semantics into a reusable scratch; the result lands in
+    /// [`SearchScratch::results`]. Allocation-free once the scratch has
+    /// warmed to the workload's high-water mark.
+    pub fn and_query_into(&self, terms: &[TermId], scratch: &mut SearchScratch) {
+        scratch.cur.clear();
         if terms.is_empty() {
-            return Vec::new();
+            return;
         }
         let index = self.corpus.index();
-        // Intersect in ascending document-frequency order.
-        let mut ordered: Vec<TermId> = terms.to_vec();
-        ordered.sort_unstable();
-        ordered.dedup();
-        ordered.sort_by_key(|&t| index.df(t));
+        // Deduplicate and order by ascending df; sparse (sorted) terms land
+        // before dense (bitmap) ones because the representation threshold
+        // is itself a df cut.
+        scratch.terms.clear();
+        scratch.terms.extend_from_slice(terms);
+        scratch.terms.sort_unstable();
+        scratch.terms.dedup();
+        scratch.terms.sort_by_key(|&t| index.df(t));
 
-        let mut result: Vec<DocId> = index.postings(ordered[0]).iter().map(|p| p.doc).collect();
-        for &term in &ordered[1..] {
-            if result.is_empty() {
-                break;
+        match index.doc_ids(scratch.terms[0]) {
+            PostingsView::Sorted(seed) => {
+                scratch.cur.extend_from_slice(seed);
+                for &term in &scratch.terms[1..] {
+                    if scratch.cur.is_empty() {
+                        return;
+                    }
+                    match index.doc_ids(term) {
+                        PostingsView::Sorted(ids) => {
+                            intersect_sorted_into(&scratch.cur, ids, &mut scratch.next);
+                            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+                        }
+                        PostingsView::Bitmap(b) => retain_in_bitmap(&mut scratch.cur, b),
+                    }
+                }
             }
-            let list = index.postings(term);
-            result = intersect_sorted(&result, list.iter().map(|p| p.doc));
+            PostingsView::Bitmap(seed) => {
+                // Smallest term is dense ⇒ every term is dense.
+                if let Some(acc) = &mut scratch.bitmap {
+                    acc.clone_from(seed);
+                } else {
+                    scratch.bitmap = Some(seed.clone());
+                }
+                let acc = scratch.bitmap.as_mut().expect("just set");
+                for &term in &scratch.terms[1..] {
+                    match index.doc_ids(term) {
+                        PostingsView::Bitmap(b) => acc.and_assign(b),
+                        PostingsView::Sorted(_) => {
+                            unreachable!("df ordering puts sorted terms first")
+                        }
+                    }
+                }
+                acc.decode_into(&mut scratch.cur);
+            }
         }
-        result
     }
 
     /// OR semantics: documents containing at least one term.
     pub fn or_query(&self, terms: &[TermId]) -> Vec<DocId> {
+        let mut scratch = SearchScratch::new();
+        self.or_query_into(terms, &mut scratch);
+        std::mem::take(&mut scratch.cur)
+    }
+
+    /// OR semantics into a reusable scratch; the result lands in
+    /// [`SearchScratch::results`].
+    pub fn or_query_into(&self, terms: &[TermId], scratch: &mut SearchScratch) {
+        scratch.cur.clear();
         let index = self.corpus.index();
-        let mut ordered: Vec<TermId> = terms.to_vec();
-        ordered.sort_unstable();
-        ordered.dedup();
-        let mut result: Vec<DocId> = Vec::new();
-        for term in ordered {
-            let list = index.postings(term);
-            if list.is_empty() {
-                continue;
+        scratch.terms.clear();
+        scratch.terms.extend_from_slice(terms);
+        scratch.terms.sort_unstable();
+        scratch.terms.dedup();
+
+        let any_bitmap = scratch
+            .terms
+            .iter()
+            .any(|&t| matches!(index.doc_ids(t), PostingsView::Bitmap(_)));
+        if any_bitmap {
+            // Union through a bitmap: word-OR the dense terms, point-insert
+            // the sparse ids, decode once.
+            let acc = scratch
+                .bitmap
+                .get_or_insert_with(|| DocBitmap::empty(0));
+            acc.reset(index.num_docs() as usize);
+            for &term in &scratch.terms {
+                match index.doc_ids(term) {
+                    PostingsView::Bitmap(b) => acc.or_assign(b),
+                    PostingsView::Sorted(ids) => {
+                        for &d in ids {
+                            acc.insert(d);
+                        }
+                    }
+                }
             }
-            result = union_sorted(&result, list.iter().map(|p| p.doc));
+            acc.decode_into(&mut scratch.cur);
+        } else {
+            // All-sparse k-way heap merge, O(total · log k).
+            let lists: Vec<&[DocId]> = scratch
+                .terms
+                .iter()
+                .filter_map(|&t| match index.doc_ids(t) {
+                    PostingsView::Sorted(ids) if !ids.is_empty() => Some(ids),
+                    _ => None,
+                })
+                .collect();
+            let mut heap: BinaryHeap<Reverse<(DocId, usize)>> = lists
+                .iter()
+                .enumerate()
+                .map(|(li, ids)| Reverse((ids[0], li)))
+                .collect();
+            let mut pos = vec![1usize; lists.len()];
+            while let Some(Reverse((doc, li))) = heap.pop() {
+                if scratch.cur.last() != Some(&doc) {
+                    scratch.cur.push(doc);
+                }
+                if pos[li] < lists[li].len() {
+                    heap.push(Reverse((lists[li][pos[li]], li)));
+                    pos[li] += 1;
+                }
+            }
         }
-        result
     }
 
     /// Convenience: parses `query` through the corpus analyzer and runs an
@@ -95,43 +239,6 @@ impl<'c> Searcher<'c> {
     pub fn search_str(&self, query: &str) -> Vec<DocId> {
         self.and_query(&self.corpus.query_terms(query))
     }
-}
-
-/// Intersects a sorted slice with a sorted iterator.
-fn intersect_sorted(a: &[DocId], b: impl Iterator<Item = DocId>) -> Vec<DocId> {
-    let mut out = Vec::with_capacity(a.len().min(16));
-    let mut ai = 0;
-    for doc in b {
-        while ai < a.len() && a[ai] < doc {
-            ai += 1;
-        }
-        if ai == a.len() {
-            break;
-        }
-        if a[ai] == doc {
-            out.push(doc);
-            ai += 1;
-        }
-    }
-    out
-}
-
-/// Unions a sorted slice with a sorted iterator.
-fn union_sorted(a: &[DocId], b: impl Iterator<Item = DocId>) -> Vec<DocId> {
-    let mut out = Vec::with_capacity(a.len() + 16);
-    let mut ai = 0;
-    for doc in b {
-        while ai < a.len() && a[ai] < doc {
-            out.push(a[ai]);
-            ai += 1;
-        }
-        if ai < a.len() && a[ai] == doc {
-            ai += 1;
-        }
-        out.push(doc);
-    }
-    out.extend_from_slice(&a[ai..]);
-    out
 }
 
 #[cfg(test)]
@@ -147,6 +254,33 @@ mod tests {
         b.add_document(DocumentSpec::text("d2", "apple store location"));
         b.add_document(DocumentSpec::text("d3", "banana fruit"));
         b.build()
+    }
+
+    /// A corpus big enough that sparse terms really freeze to sorted lists
+    /// (df · 64 < N) while frequent terms go dense, so every kernel
+    /// combination runs.
+    fn hybrid_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for i in 0..400usize {
+            let mut body = String::from("common");
+            if i % 2 == 0 {
+                body.push_str(" even");
+            }
+            if i % 129 == 0 {
+                body.push_str(" sparse129");
+            }
+            if i % 150 == 0 {
+                body.push_str(" sparse150");
+            }
+            b.add_document(DocumentSpec::text("", &body));
+        }
+        b.build()
+    }
+
+    fn naive_and(c: &Corpus, terms: &[TermId]) -> Vec<DocId> {
+        c.all_docs()
+            .filter(|&d| terms.iter().all(|&t| c.doc_contains(d, t)))
+            .collect()
     }
 
     #[test]
@@ -238,5 +372,65 @@ mod tests {
             vec![DocId(1)]
         );
         assert_eq!(s.search(&[apple, fruit], QuerySemantics::Or).len(), 4);
+    }
+
+    #[test]
+    fn hybrid_and_all_representation_mixes_match_naive() {
+        let c = hybrid_corpus();
+        let s = Searcher::new(&c);
+        let t = |name: &str| c.keyword_term(name).unwrap();
+        let (common, even, s129, s150) =
+            (t("common"), t("even"), t("sparse129"), t("sparse150"));
+        // sorted∧sorted (gallopable skew), sorted∧bitmap, bitmap∧bitmap,
+        // and the full mix.
+        for terms in [
+            vec![s129, s150],
+            vec![s129, even],
+            vec![common, even],
+            vec![common, even, s129, s150],
+        ] {
+            assert_eq!(s.and_query(&terms), naive_and(&c, &terms), "{terms:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_or_matches_naive_union() {
+        let c = hybrid_corpus();
+        let s = Searcher::new(&c);
+        let t = |name: &str| c.keyword_term(name).unwrap();
+        for terms in [
+            vec![t("sparse129"), t("sparse150")],
+            vec![t("even"), t("sparse129")],
+            vec![t("common"), t("even")],
+        ] {
+            let expect: Vec<DocId> = c
+                .all_docs()
+                .filter(|&d| terms.iter().any(|&tm| c.doc_contains(d, tm)))
+                .collect();
+            assert_eq!(s.or_query(&terms), expect, "{terms:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries() {
+        let c = hybrid_corpus();
+        let s = Searcher::new(&c);
+        let t = |name: &str| c.keyword_term(name).unwrap();
+        let mut scratch = SearchScratch::new();
+        // Interleave shapes to make sure no state leaks between queries.
+        let queries = [
+            vec![t("sparse129"), t("even")],
+            vec![t("common"), t("even")],
+            vec![t("sparse129"), t("sparse150")],
+            vec![t("common")],
+        ];
+        for _ in 0..3 {
+            for q in &queries {
+                s.and_query_into(q, &mut scratch);
+                assert_eq!(scratch.results(), s.and_query(q), "{q:?}");
+                s.or_query_into(q, &mut scratch);
+                assert_eq!(scratch.results(), s.or_query(q), "{q:?}");
+            }
+        }
     }
 }

@@ -187,7 +187,7 @@ fn step1b(w: &mut Vec<u8>) {
 }
 
 /// Step 1c: `y→i` when the stem contains a vowel.
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
         let last = w.len() - 1;
         w[last] = b'i';
