@@ -5,35 +5,39 @@
 //! top-500 workload.
 
 use qec_bench::{synth_arena, ArenaSpec, Harness};
-use qec_core::{iskr_into, IskrConfig, IskrScratch, QecInstance};
+use qec_core::{Expander, ExpandedQuery, Iskr, IskrConfig, IskrScratch, QecInstance};
 use std::hint::black_box;
 
 fn main() {
     let mut h = Harness::new("ablation");
-    let affected = IskrConfig::default();
-    let rescan = IskrConfig {
+    // Both maintenance modes behind the same Expander trait the serving
+    // facade dispatches on — the ablation is a config flag, not a fork.
+    let affected = Iskr(IskrConfig::default());
+    let rescan = Iskr(IskrConfig {
         affected_only: false,
         ..Default::default()
-    };
+    });
 
     for arena_size in [30usize, 100, 500] {
         let (arena, clusters) = synth_arena(&ArenaSpec::top(arena_size, 23));
         let inst = QecInstance::new(&arena, clusters[0].clone());
         let mut scratch = IskrScratch::new();
+        let mut out = ExpandedQuery::default();
 
         // Both maintenance modes must land on the same expansion — same
         // keywords, not just a coincidentally equal quality.
-        let fast = iskr_into(&inst, &affected, &mut scratch);
-        let fast_added = scratch.added().to_vec();
-        let slow = iskr_into(&inst, &rescan, &mut scratch);
-        assert!(fast == slow, "maintenance rule changed the quality");
-        assert_eq!(fast_added, scratch.added(), "maintenance rule changed the query");
+        affected.expand_into(&inst, &mut scratch, &mut out);
+        let fast = out.clone();
+        rescan.expand_into(&inst, &mut scratch, &mut out);
+        assert!(fast == out, "maintenance rule changed the expansion");
 
         h.bench(&format!("affected_only/arena{arena_size}"), || {
-            black_box(iskr_into(black_box(&inst), &affected, &mut scratch))
+            affected.expand_into(black_box(&inst), &mut scratch, &mut out);
+            black_box(out.quality)
         });
         h.bench(&format!("full_rescan/arena{arena_size}"), || {
-            black_box(iskr_into(black_box(&inst), &rescan, &mut scratch))
+            rescan.expand_into(black_box(&inst), &mut scratch, &mut out);
+            black_box(out.quality)
         });
     }
 

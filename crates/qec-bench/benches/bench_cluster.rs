@@ -1,1 +1,52 @@
-fn main() {}
+//! Clustering benchmarks over the seeded synthetic generators: TF-vector
+//! extraction and cosine k-means at the paper's result-list sizes
+//! (top-30/100/500), driven through the [`Clusterer`] trait the serving
+//! facade uses, plus the arena generator itself (the cost of synthesising
+//! one benchmark instance).
+
+use qec_bench::{synth_arena, synth_corpus, ArenaSpec, CorpusSpec, Harness};
+use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, KMeansConfig, SparseVec};
+use qec_index::DocId;
+use std::hint::black_box;
+
+fn main() {
+    let mut h = Harness::new("cluster");
+
+    // A corpus with realistic Zipfian vocabulary for the vector work.
+    let corpus = synth_corpus(&CorpusSpec {
+        num_docs: 2_000,
+        vocab: 4_000,
+        doc_len: 40,
+        ..Default::default()
+    });
+    let clusterer = KMeansClusterer(KMeansConfig { seed: 11, ..Default::default() });
+
+    for n in [30usize, 100, 500] {
+        // The "result list": the first n docs stand in for ranked hits.
+        let docs: Vec<DocId> = (0..n as u32).map(DocId).collect();
+        h.bench(&format!("tf_vectors/top{n}"), || {
+            let vectors: Vec<SparseVec> = docs
+                .iter()
+                .map(|&d| doc_tf_vector(black_box(&corpus), d))
+                .collect();
+            black_box(vectors.len())
+        });
+
+        let vectors: Vec<SparseVec> =
+            docs.iter().map(|&d| doc_tf_vector(&corpus, d)).collect();
+        h.bench(&format!("kmeans/top{n}/k8"), || {
+            black_box(clusterer.cluster(black_box(&vectors), 8))
+        });
+    }
+
+    // Cost of generating one synthetic expansion arena (what every other
+    // suite pays per workload).
+    for n in [100usize, 500] {
+        let spec = ArenaSpec::top(n, 7);
+        h.bench(&format!("synth_arena/top{n}"), || {
+            black_box(synth_arena(black_box(&spec)).0.num_candidates())
+        });
+    }
+
+    h.finish();
+}

@@ -1,47 +1,51 @@
 //! End-to-end expansion benchmarks at the paper's workload sizes
-//! (top-30/100/500), plus the exact-ΔF baseline for contrast and the
-//! parallel per-cluster fan-out.
+//! (top-30/100/500), driven through the [`Expander`] trait the serving
+//! facade dispatches on, plus the exact-ΔF baseline for contrast and the
+//! strategy-generic parallel per-cluster fan-out.
 
 use qec_bench::{synth_arena, ArenaSpec, Harness};
 use qec_core::{
-    expand_clusters_with_threads, fmeasure_refine, iskr_into, FMeasureConfig, IskrConfig,
+    expand_clusters_with, ExactDeltaF, Expander, ExpandedQuery, FMeasureConfig, Iskr, IskrConfig,
     IskrScratch, QecInstance,
 };
 use std::hint::black_box;
 
 fn main() {
     let mut h = Harness::new("iskr");
-    let config = IskrConfig::default();
+    let iskr = Iskr(IskrConfig::default());
 
     for arena_size in [30usize, 100, 500] {
         let (arena, clusters) = synth_arena(&ArenaSpec::top(arena_size, 11));
         let inst = QecInstance::new(&arena, clusters[0].clone());
         let mut scratch = IskrScratch::new();
-        let _ = iskr_into(&inst, &config, &mut scratch); // warm the buffers
+        let mut out = ExpandedQuery::default();
+        iskr.expand_into(&inst, &mut scratch, &mut out); // warm the buffers
         h.bench(&format!("iskr/arena{arena_size}"), || {
-            black_box(iskr_into(black_box(&inst), &config, &mut scratch))
+            iskr.expand_into(black_box(&inst), &mut scratch, &mut out);
+            black_box(out.quality)
         });
     }
 
     // The exact-ΔF baseline the paper reports as 1–2 orders slower.
     let (arena, clusters) = synth_arena(&ArenaSpec::top(100, 11));
     let inst = QecInstance::new(&arena, clusters[0].clone());
+    let exact = ExactDeltaF(FMeasureConfig::default());
     h.bench("fmeasure_baseline/arena100", || {
-        black_box(fmeasure_refine(black_box(&inst), &FMeasureConfig::default()))
+        black_box(exact.expand(black_box(&inst)))
     });
 
     // Whole-query expansion: every cluster of a top-500 arena. The
     // parallel case uses the machine's core count; on a single-core box it
     // degrades to the sequential path (spawning threads there only adds
-    // overhead, which `expand_clusters` avoids by design).
+    // overhead, which the strategy-generic fan-out avoids by design).
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("# cores available: {cores}");
     let (arena, clusters) = synth_arena(&ArenaSpec::top(500, 11));
     h.bench("expand_all/arena500/sequential", || {
-        black_box(expand_clusters_with_threads(&arena, &clusters, &config, 1))
+        black_box(expand_clusters_with(&arena, &clusters, &iskr, 1))
     });
     h.bench(&format!("expand_all/arena500/threads{cores}"), || {
-        black_box(expand_clusters_with_threads(&arena, &clusters, &config, cores))
+        black_box(expand_clusters_with(&arena, &clusters, &iskr, cores))
     });
 
     h.finish();

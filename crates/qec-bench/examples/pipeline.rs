@@ -1,18 +1,18 @@
-//! End-to-end demo of the paper's flow through the public APIs only:
-//! analyze → index → search → rank → cluster → expand, printing one
-//! expanded query per cluster.
+//! End-to-end demo of the paper's flow through the serving facade:
+//! build a [`QecEngine`] once, then serve one request per strategy —
+//! retrieval, ranking, sense clustering and per-cluster expansion all
+//! happen behind `engine.expand`.
 //!
 //! Run: `cargo run --release -p qec-bench --example pipeline [query]`
 
-use qec_cluster::{doc_tf_vector, kmeans, KMeansConfig};
-use qec_core::{expand_clusters, ArenaConfig, ExpansionArena, IskrConfig, ResultSet};
-use qec_index::{rank_and_query, CorpusBuilder, DocumentSpec};
+use qec_engine::{
+    DocumentSpec, EngineBuilder, ExpandRequest, ExpandResponse, ExpandStrategy, QecEngine,
+};
 
 fn main() {
     let query = std::env::args().nth(1).unwrap_or_else(|| "apple".into());
 
     // A tiny two-sense corpus in the spirit of the paper's Example 1.1.
-    let mut b = CorpusBuilder::new();
     let docs = [
         ("Apple Inc", "apple computers iphone ipad store cupertino"),
         ("Apple Store", "apple store retail genius bar iphone"),
@@ -23,60 +23,53 @@ fn main() {
         ("Banana bread", "banana fruit bread baking recipe"),
         ("Jobs biography", "steve jobs apple founder biography"),
     ];
-    for (title, body) in docs {
-        b.add_document(DocumentSpec::text(title, body));
-    }
-    let corpus = b.build();
+    let engine = EngineBuilder::new()
+        .documents(
+            docs.iter()
+                .map(|&(title, body)| DocumentSpec::text(title, body)),
+        )
+        .build();
 
-    // Retrieve + rank the user query.
-    let terms = corpus.query_terms(&query);
-    let hits = rank_and_query(&corpus, &query);
-    if hits.is_empty() {
+    let base = ExpandRequest { k_clusters: 2, ..ExpandRequest::new(&query) };
+    let first = engine.expand(&base);
+    if first.clusters().is_empty() {
         println!("no results for {query:?}");
         return;
     }
-    println!("query {query:?}: {} results", hits.len());
+    println!("query {query:?}: {} results", first.stats.results);
+    print_response(&engine, &query, &first);
+    engine.recycle(first);
 
-    // Cluster the results by cosine k-means over TF vectors.
-    let vectors: Vec<_> = hits.iter().map(|h| doc_tf_vector(&corpus, h.doc)).collect();
-    let assignment = kmeans(&vectors, &KMeansConfig { k: 2, ..Default::default() });
+    // The same request under the baseline strategies — served from the
+    // session's arena cache, so only the expansion kernel re-runs.
+    for strategy in [ExpandStrategy::Pebc, ExpandStrategy::ExactDeltaF] {
+        let resp = engine.expand(&ExpandRequest { strategy, ..base.clone() });
+        println!(
+            "\nstrategy {} (arena cache hit: {}):",
+            resp.stats.strategy, resp.stats.arena_cache_hit
+        );
+        print_response(&engine, &query, &resp);
+        engine.recycle(resp);
+    }
+}
 
-    // Build the shared expansion arena and one bitset per cluster.
-    let result_docs: Vec<_> = hits.iter().map(|h| h.doc).collect();
-    let weights: Vec<f64> = hits.iter().map(|h| h.score).collect();
-    let arena = ExpansionArena::build(
-        &corpus,
-        &result_docs,
-        Some(&weights),
-        &terms,
-        &ArenaConfig { candidate_fraction: 1.0, min_candidates: 0 },
-    );
-    let clusters: Vec<ResultSet> = (0..assignment.num_clusters())
-        .map(|c| {
-            ResultSet::from_indices(
-                arena.size(),
-                (0..arena.size()).filter(|&i| assignment.cluster_of(i) == c as u32),
-            )
-        })
-        .filter(|s| !s.is_empty())
-        .collect();
-
-    // Expand every cluster (parallel across clusters).
-    let expanded = expand_clusters(&arena, &clusters, &IskrConfig::default());
-    for (c, (cluster, exp)) in clusters.iter().zip(&expanded).enumerate() {
+fn print_response(engine: &QecEngine, query: &str, resp: &ExpandResponse) {
+    let corpus = engine.corpus();
+    for (c, cluster) in resp.clusters().iter().enumerate() {
         let members: Vec<&str> = cluster
+            .docs
             .iter()
-            .map(|i| corpus.doc(result_docs[i]).title.as_str())
+            .map(|&d| corpus.doc(d).title.as_str())
             .collect();
-        let added: Vec<&str> = exp
+        let added: Vec<&str> = cluster
             .added
             .iter()
-            .map(|&k| corpus.term_name(arena.candidate(k).term))
+            .map(|&t| corpus.term_name(t))
             .collect();
         println!(
             "cluster {c}: {members:?}\n  expanded query: {query} + {added:?} \
              (P {:.2}, R {:.2}, F {:.2})",
-            exp.quality.precision, exp.quality.recall, exp.quality.fmeasure
+            cluster.quality.precision, cluster.quality.recall, cluster.quality.fmeasure
         );
     }
 }

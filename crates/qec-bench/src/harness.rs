@@ -1,7 +1,7 @@
 //! Minimal timing harness — the offline-build substitute for criterion.
 //!
 //! Protocol per benchmark: a warmup phase sizes the iteration batch so one
-//! sample costs ≈ [`SAMPLE_TARGET`], then [`SAMPLES`] batches are timed and
+//! sample costs ≈ `SAMPLE_TARGET`, then `SAMPLES` batches are timed and
 //! the per-iteration **median** (robust to scheduler noise) and minimum are
 //! reported. `cargo bench -- --test` runs every closure exactly once and
 //! skips timing, which is what CI uses to keep the benches compiling and

@@ -1,0 +1,83 @@
+//! Property tests for the [`Expander`] strategy layer over seeded
+//! synthetic instances: the trait must be a zero-cost seam (bit-identical
+//! to the direct kernels), and every strategy must respect its iteration
+//! budget.
+
+use qec_bench::{synth_arena, ArenaSpec};
+use qec_core::{
+    iskr_into, ExactDeltaF, Expander, ExpandedQuery, FMeasureConfig, Iskr, IskrConfig,
+    IskrScratch, Pebc, PebcConfig, QecInstance,
+};
+
+/// Seeded instance sweep: every cluster of several arena shapes.
+fn for_each_instance(mut f: impl FnMut(&QecInstance<'_>)) {
+    for (arena_size, seed) in [(30usize, 3u64), (100, 7), (100, 41), (500, 13)] {
+        let (arena, clusters) = synth_arena(&ArenaSpec::top(arena_size, seed));
+        for cluster in &clusters {
+            f(&QecInstance::new(&arena, cluster.clone()));
+        }
+    }
+}
+
+#[test]
+fn iskr_via_trait_is_bit_identical_to_direct_kernel() {
+    let config = IskrConfig::default();
+    let strategy = Iskr(config.clone());
+    let mut trait_scratch = IskrScratch::new();
+    let mut direct_scratch = IskrScratch::new();
+    let mut out = ExpandedQuery::default();
+    for_each_instance(|inst| {
+        strategy.expand_into(inst, &mut trait_scratch, &mut out);
+        let quality = iskr_into(inst, &config, &mut direct_scratch);
+        assert_eq!(out.quality, quality);
+        assert_eq!(out.added, direct_scratch.added());
+        // And the convenience path (fresh scratch) agrees too.
+        assert_eq!(strategy.expand(inst), out);
+    });
+}
+
+#[test]
+fn all_strategies_respect_iteration_budgets() {
+    for budget in [0usize, 1, 2, 5] {
+        let iskr = Iskr(IskrConfig { max_iters: budget, ..Default::default() });
+        let exact = ExactDeltaF(FMeasureConfig { max_iters: budget, ..Default::default() });
+        let pebc = Pebc(PebcConfig { max_keywords: budget, ..Default::default() });
+        let strategies: [&dyn Expander; 3] = [&iskr, &exact, &pebc];
+        let mut scratch = IskrScratch::new();
+        let mut out = ExpandedQuery::default();
+        for_each_instance(|inst| {
+            for s in strategies {
+                s.expand_into(inst, &mut scratch, &mut out);
+                // Every iteration adds at most one keyword, so the budget
+                // bounds the expansion size for all three strategies.
+                assert!(
+                    out.added.len() <= budget,
+                    "{} exceeded budget {budget}: {:?}",
+                    s.name(),
+                    out.added
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn budgeted_strategies_still_produce_valid_queries() {
+    // With a generous budget, every strategy's reported quality must match
+    // re-evaluating its added set from scratch (no stale state leaks
+    // through the shared scratch).
+    let iskr = Iskr(IskrConfig::default());
+    let exact = ExactDeltaF(FMeasureConfig::default());
+    let pebc = Pebc(PebcConfig::default());
+    let strategies: [&dyn Expander; 3] = [&iskr, &exact, &pebc];
+    let mut scratch = IskrScratch::new();
+    let mut out = ExpandedQuery::default();
+    for_each_instance(|inst| {
+        for s in strategies {
+            s.expand_into(inst, &mut scratch, &mut out);
+            let reeval = inst.quality_of_added(&out.added);
+            assert_eq!(out.quality, reeval, "{}", s.name());
+            assert!(out.added.windows(2).all(|w| w[0] < w[1]), "{} sorted", s.name());
+        }
+    });
+}

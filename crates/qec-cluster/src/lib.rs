@@ -12,12 +12,14 @@
 //! simulated user-study judges — the algorithms themselves never see them.
 
 pub mod assign;
+pub mod clusterer;
 pub mod kmeans;
 pub mod quality;
 pub mod rng;
 pub mod vector;
 
 pub use assign::ClusterAssignment;
+pub use clusterer::{Clusterer, KMeansClusterer};
 pub use kmeans::{kmeans, KMeansConfig};
 pub use rng::SplitMix64;
 pub use quality::{normalized_mutual_information, purity};

@@ -1,0 +1,197 @@
+//! The [`Expander`] strategy trait: one interface over every per-cluster
+//! expansion algorithm.
+//!
+//! The serving facade (`qec-engine`), the parallel fan-out
+//! ([`crate::parallel`]) and the benchmarks all drive expansion through
+//! this trait, so algorithms are interchangeable at every layer:
+//!
+//! * [`Iskr`] — Iterative Single-Keyword Refinement (Algorithm 1), the
+//!   paper's method and the default. Allocation-free on a warmed scratch.
+//! * [`Pebc`] — the partial-elimination baseline: one-shot static
+//!   valuation, no maintenance, no removals. Cheapest; lowest quality.
+//!   Also allocation-free on a warmed scratch.
+//! * [`ExactDeltaF`] — greedy refinement by exact ΔF-measure (§5's
+//!   "F-measure" baseline). Highest quality; 1–2 orders slower, and it
+//!   allocates internally (it is a baseline, not a serving path).
+//!
+//! Every implementation writes its result into a caller-owned
+//! [`ExpandedQuery`] and uses a caller-owned [`IskrScratch`] for working
+//! state, so a serving loop that reuses both stays on the zero-allocation
+//! discipline of the underlying kernels.
+
+use crate::fmeasure::{fmeasure_refine, FMeasureConfig};
+use crate::iskr::{iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
+use crate::pebc::{pebc_into, PebcConfig};
+use crate::problem::QecInstance;
+
+/// A pluggable per-cluster expansion strategy.
+///
+/// `Sync` is a supertrait so trait objects can be shared across the
+/// scoped-thread fan-out of [`crate::parallel::expand_clusters_with`];
+/// strategies are plain configuration data, so this costs nothing.
+pub trait Expander: Sync {
+    /// Short stable identifier (used in benchmark case names and serving
+    /// stats).
+    fn name(&self) -> &'static str;
+
+    /// Expands one cluster instance into `out`, reusing `scratch` for all
+    /// working state. Implementations overwrite `out` completely (cleared
+    /// `added`, fresh `quality`), reusing its capacity.
+    fn expand_into(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+    );
+
+    /// Convenience: expands with a fresh scratch into a fresh output.
+    fn expand(&self, inst: &QecInstance<'_>) -> ExpandedQuery {
+        let mut scratch = IskrScratch::new();
+        let mut out = ExpandedQuery::default();
+        self.expand_into(inst, &mut scratch, &mut out);
+        out
+    }
+}
+
+/// [`Expander`] wrapping ISKR ([`mod@crate::iskr`]).
+#[derive(Debug, Clone, Default)]
+pub struct Iskr(pub IskrConfig);
+
+impl Expander for Iskr {
+    fn name(&self) -> &'static str {
+        "iskr"
+    }
+
+    fn expand_into(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+    ) {
+        out.quality = iskr_into(inst, &self.0, scratch);
+        out.added.clear();
+        out.added.extend_from_slice(scratch.added());
+    }
+}
+
+/// [`Expander`] wrapping the exact-ΔF baseline ([`mod@crate::fmeasure`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExactDeltaF(pub FMeasureConfig);
+
+impl Expander for ExactDeltaF {
+    fn name(&self) -> &'static str {
+        "exact-df"
+    }
+
+    fn expand_into(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+    ) {
+        // The baseline has no scratch-based variant (see ROADMAP); it
+        // allocates internally and the scratch goes unused.
+        let _ = scratch;
+        let expanded = fmeasure_refine(inst, &self.0);
+        out.quality = expanded.quality;
+        out.added.clear();
+        out.added.extend_from_slice(&expanded.added);
+    }
+}
+
+/// [`Expander`] wrapping the partial-elimination baseline ([`mod@crate::pebc`]).
+#[derive(Debug, Clone, Default)]
+pub struct Pebc(pub PebcConfig);
+
+impl Expander for Pebc {
+    fn name(&self) -> &'static str {
+        "pebc"
+    }
+
+    fn expand_into(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+    ) {
+        out.quality = pebc_into(inst, &self.0, scratch);
+        out.added.clear();
+        out.added.extend_from_slice(scratch.added());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::ResultSet;
+    use crate::fmeasure::fmeasure_refine;
+    use crate::iskr::iskr;
+    use crate::pebc::pebc;
+    use crate::problem::{Candidate, ExpansionArena};
+    use qec_text::TermId;
+
+    fn arena() -> (ExpansionArena, Vec<usize>) {
+        let n = 16;
+        let candidates: Vec<Candidate> = (0..8u32)
+            .map(|i| Candidate {
+                term: TermId(i),
+                contains: ResultSet::from_indices(
+                    n,
+                    (0..n).filter(|&j| !(j + i as usize).is_multiple_of(3 + i as usize % 3)),
+                ),
+            })
+            .collect();
+        (
+            ExpansionArena::from_parts(vec![1.0; n], candidates),
+            (0..6).collect(),
+        )
+    }
+
+    #[test]
+    fn trait_objects_match_direct_calls() {
+        let (arena, cluster) = arena();
+        let inst = QecInstance::from_members(&arena, cluster);
+        let strategies: [&dyn Expander; 3] = [
+            &Iskr(IskrConfig::default()),
+            &ExactDeltaF(FMeasureConfig::default()),
+            &Pebc(PebcConfig::default()),
+        ];
+        let direct = [
+            iskr(&inst, &IskrConfig::default()),
+            fmeasure_refine(&inst, &FMeasureConfig::default()),
+            pebc(&inst, &PebcConfig::default()),
+        ];
+        for (s, d) in strategies.iter().zip(&direct) {
+            assert_eq!(&s.expand(&inst), d, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn expand_into_overwrites_stale_output() {
+        let (arena, cluster) = arena();
+        let inst = QecInstance::from_members(&arena, cluster);
+        let mut scratch = IskrScratch::new();
+        let mut out = ExpandedQuery {
+            added: vec![crate::problem::CandId(999)],
+            quality: Default::default(),
+        };
+        Iskr(IskrConfig::default()).expand_into(&inst, &mut scratch, &mut out);
+        assert!(!out.added.contains(&crate::problem::CandId(999)));
+        assert_eq!(out, iskr(&inst, &IskrConfig::default()));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Iskr::default().name(),
+            ExactDeltaF::default().name(),
+            Pebc::default().name(),
+        ];
+        assert_eq!(names.len(), {
+            let mut n = names.to_vec();
+            n.sort_unstable();
+            n.dedup();
+            n.len()
+        });
+    }
+}

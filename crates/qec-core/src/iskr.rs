@@ -71,7 +71,7 @@ impl Default for IskrConfig {
 
 /// An expanded query: the candidates added to the user query, plus its
 /// quality against the instance's cluster.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExpandedQuery {
     /// Added candidate keywords, in ascending id order.
     pub added: Vec<CandId>,
@@ -81,8 +81,8 @@ pub struct ExpandedQuery {
 
 /// Per-candidate cached move valuation.
 #[derive(Debug, Clone, Copy)]
-struct MoveValue {
-    value: f64,
+pub(crate) struct MoveValue {
+    pub(crate) value: f64,
 }
 
 impl MoveValue {
@@ -108,18 +108,20 @@ impl MoveValue {
 /// you pay a retarget per switch.
 #[derive(Debug, Default)]
 pub struct IskrScratch {
-    values: Vec<MoveValue>,
+    pub(crate) values: Vec<MoveValue>,
     in_query: Vec<bool>,
     affected: Vec<bool>,
-    query: Vec<CandId>,
+    pub(crate) query: Vec<CandId>,
     /// `R(q)` for the current query.
-    r: ResultSet,
+    pub(crate) r: ResultSet,
     /// `R(q \ k)` workspace for removal valuations.
     r_without: ResultSet,
     /// Delta results of the last applied move.
     delta: ResultSet,
+    /// Candidate ordering buffer (PEBC's one-shot static ranking).
+    pub(crate) order: Vec<u32>,
     /// Output: the added keywords of the last run, ascending.
-    added: Vec<CandId>,
+    pub(crate) added: Vec<CandId>,
 }
 
 impl IskrScratch {
@@ -135,7 +137,7 @@ impl IskrScratch {
 
     /// Grows every buffer for an arena of `universe` results and `n_cands`
     /// candidates. No-op (and allocation-free) when already large enough.
-    fn ensure(&mut self, universe: usize, n_cands: usize) {
+    pub(crate) fn ensure(&mut self, universe: usize, n_cands: usize) {
         if self.r.universe() != universe {
             self.r = ResultSet::empty(universe);
             self.r_without = ResultSet::empty(universe);
@@ -152,6 +154,10 @@ impl IskrScratch {
         }
         if self.added.capacity() < n_cands {
             self.added.reserve(n_cands);
+        }
+        self.order.clear();
+        if self.order.capacity() < n_cands {
+            self.order.reserve(n_cands);
         }
     }
 }
@@ -187,6 +193,7 @@ pub fn iskr_into(
         r_without,
         delta,
         added,
+        ..
     } = scratch;
     in_query[..n_cands].fill(false);
     r.set_full();
@@ -306,7 +313,7 @@ fn results_without(
 
 /// Valuation of adding `k` to the current query with result set `r`.
 /// `D = R(q) ∩ E(k)`; both weighted sums run fused, with no temporary set.
-fn add_value(inst: &QecInstance<'_>, r: &ResultSet, k: CandId) -> MoveValue {
+pub(crate) fn add_value(inst: &QecInstance<'_>, r: &ResultSet, k: CandId) -> MoveValue {
     let contains = &inst.arena.candidate(k).contains;
     let w = &inst.arena.weights;
     let benefit = r.weighted_sum_and_not_and(contains, &inst.universe_set, w);

@@ -10,22 +10,31 @@
 //! * [`problem`] — the [`ExpansionArena`] / [`QecInstance`] problem model
 //!   (Definitions 2.1/2.2), including the per-result eliminator map that
 //!   realises §3's "affected keywords only" maintenance rule.
-//! * [`iskr`] — Iterative Single-Keyword Refinement (Algorithm 1), with a
+//! * [`mod@iskr`] — Iterative Single-Keyword Refinement (Algorithm 1), with a
 //!   reusable [`IskrScratch`] making every move valuation allocation-free.
-//! * [`fmeasure`] — the exact-ΔF greedy baseline (§5's "F-measure" method).
+//! * [`mod@fmeasure`] — the exact-ΔF greedy baseline (§5's "F-measure" method).
+//! * [`mod@pebc`] — the partial-elimination baseline: one-shot static
+//!   valuation, no maintenance, no removals.
+//! * [`expander`] — the [`Expander`] strategy trait unifying the three
+//!   algorithms behind one interface (what `qec-engine` serves through).
 //! * [`parallel`] — scoped-thread fan-out of independent per-cluster
-//!   expansions (the offline-build substitute for rayon).
+//!   expansions (the offline-build substitute for rayon), generic over
+//!   [`Expander`].
 
 pub mod bitset;
+pub mod expander;
 pub mod fmeasure;
 pub mod iskr;
 pub mod metrics;
 pub mod parallel;
+pub mod pebc;
 pub mod problem;
 
 pub use bitset::ResultSet;
+pub use expander::{ExactDeltaF, Expander, Iskr, Pebc};
 pub use fmeasure::{fmeasure_refine, FMeasureConfig};
 pub use iskr::{iskr, iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
 pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
-pub use parallel::{expand_clusters, expand_clusters_with_threads};
+pub use parallel::{expand_clusters, expand_clusters_with, expand_clusters_with_threads};
+pub use pebc::{pebc, pebc_into, PebcConfig};
 pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance};

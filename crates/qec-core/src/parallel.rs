@@ -8,6 +8,10 @@
 //! zero-allocation discipline of the sequential path carries over (one
 //! scratch warm-up per worker, not per cluster).
 //!
+//! The fan-out is strategy-generic: [`expand_clusters_with`] takes any
+//! [`Expander`] (ISKR, PEBC, exact-ΔF), and the ISKR-specific entry points
+//! delegate to it.
+//!
 //! Clusters are dealt to workers in strides (worker `w` takes clusters
 //! `w, w + t, w + 2t, …`), which balances the common skew where the first
 //! clusters are the big ones. Output order matches input order regardless
@@ -15,7 +19,8 @@
 //! algorithm — results are identical at any thread count.
 
 use crate::bitset::ResultSet;
-use crate::iskr::{iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
+use crate::expander::{Expander, Iskr};
+use crate::iskr::{ExpandedQuery, IskrConfig, IskrScratch};
 use crate::problem::{ExpansionArena, QecInstance};
 
 /// Expands every cluster with ISKR, using up to
@@ -39,6 +44,19 @@ pub fn expand_clusters_with_threads(
     config: &IskrConfig,
     threads: usize,
 ) -> Vec<ExpandedQuery> {
+    expand_clusters_with(arena, clusters, &Iskr(config.clone()), threads)
+}
+
+/// Expands every cluster through any [`Expander`] strategy on exactly
+/// `threads` workers (clamped to the cluster count; `0` is treated as `1`).
+/// Output order matches input order at every thread count, and one worker
+/// degrades to the exact sequential algorithm.
+pub fn expand_clusters_with(
+    arena: &ExpansionArena,
+    clusters: &[ResultSet],
+    expander: &dyn Expander,
+    threads: usize,
+) -> Vec<ExpandedQuery> {
     let n = clusters.len();
     let threads = threads.clamp(1, n.max(1));
     let mut out: Vec<Option<ExpandedQuery>> = vec![None; n];
@@ -46,7 +64,7 @@ pub fn expand_clusters_with_threads(
     if threads == 1 {
         let mut scratch = IskrScratch::new();
         for (slot, cluster) in out.iter_mut().zip(clusters) {
-            *slot = Some(expand_one(arena, cluster, config, &mut scratch));
+            *slot = Some(expand_one(arena, cluster, expander, &mut scratch));
         }
     } else {
         // Hand each worker a strided view of the output slots; the stripes
@@ -63,7 +81,7 @@ pub fn expand_clusters_with_threads(
                 scope.spawn(move || {
                     let mut scratch = IskrScratch::new();
                     for (i, slot) in stripe {
-                        *slot = Some(expand_one(arena, &clusters[i], config, &mut scratch));
+                        *slot = Some(expand_one(arena, &clusters[i], expander, &mut scratch));
                     }
                 });
             }
@@ -78,15 +96,13 @@ pub fn expand_clusters_with_threads(
 fn expand_one(
     arena: &ExpansionArena,
     cluster: &ResultSet,
-    config: &IskrConfig,
+    expander: &dyn Expander,
     scratch: &mut IskrScratch,
 ) -> ExpandedQuery {
     let inst = QecInstance::new(arena, cluster.clone());
-    let quality = iskr_into(&inst, config, scratch);
-    ExpandedQuery {
-        added: scratch.added().to_vec(),
-        quality,
-    }
+    let mut out = ExpandedQuery::default();
+    expander.expand_into(&inst, scratch, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -147,5 +163,21 @@ mod tests {
         let (arena, _) = arena_with_clusters(32, 2);
         let out = expand_clusters(&arena, &[], &IskrConfig::default());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn strategy_generic_fanout_matches_sequential() {
+        use crate::expander::{Expander, Pebc};
+        use crate::pebc::PebcConfig;
+        let (arena, clusters) = arena_with_clusters(96, 6);
+        let strategy = Pebc(PebcConfig::default());
+        let sequential: Vec<ExpandedQuery> = clusters
+            .iter()
+            .map(|c| strategy.expand(&QecInstance::new(&arena, c.clone())))
+            .collect();
+        for threads in [1, 3, 16] {
+            let parallel = expand_clusters_with(&arena, &clusters, &strategy, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 }

@@ -290,6 +290,32 @@ impl<'a> QecInstance<'a> {
         Self::new(arena, ResultSet::from_indices(arena.size(), members))
     }
 
+    /// Reassembles an instance from parts previously taken with
+    /// [`into_parts`](Self::into_parts) — the allocation-free path for a
+    /// serving loop that caches `(C, U)` pairs per cluster and rebuilds the
+    /// borrowing instance per request. `universe_set` must be the arena
+    /// complement of `cluster` (checked in debug builds).
+    pub fn from_owned_parts(
+        arena: &'a ExpansionArena,
+        cluster: ResultSet,
+        universe_set: ResultSet,
+    ) -> Self {
+        debug_assert_eq!(cluster.universe(), arena.size());
+        debug_assert!(!cluster.intersects(&universe_set));
+        debug_assert_eq!(cluster.len() + universe_set.len(), arena.size());
+        Self {
+            arena,
+            cluster,
+            universe_set,
+        }
+    }
+
+    /// Disassembles the instance into its owned `(cluster, universe)`
+    /// bitsets, releasing the arena borrow without dropping the buffers.
+    pub fn into_parts(self) -> (ResultSet, ResultSet) {
+        (self.cluster, self.universe_set)
+    }
+
     /// Quality of result set `r` against this instance's cluster.
     pub fn quality_of(&self, r: &ResultSet) -> QueryQuality {
         query_quality(r, &self.cluster, &self.arena.weights)

@@ -1,13 +1,17 @@
-//! Proof of the zero-allocation claim: a warmed [`IskrScratch`] lets
+//! Proof of the zero-allocation claims: a warmed [`IskrScratch`] lets
 //! `iskr_into` run entire expansions — move valuations, maintenance,
-//! move application — without touching the heap.
+//! move application — without touching the heap, and a warmed
+//! [`SearchScratch`] does the same for boolean retrieval in **both**
+//! semantics (the OR k-way merge state lives in the scratch too).
 //!
 //! A counting global allocator tallies every `alloc`/`realloc` while a
 //! flag is armed. The file holds exactly one test because the allocator
 //! count is process-global; a second concurrently running test would
-//! contaminate it.
+//! contaminate it. (`qec-engine` carries the sibling proof for a warmed
+//! `engine.expand` serving loop.)
 
 use qec_core::{iskr_into, Candidate, ExpansionArena, IskrConfig, IskrScratch, QecInstance, ResultSet};
+use qec_index::{Corpus, CorpusBuilder, DocumentSpec, SearchScratch, Searcher};
 use qec_text::TermId;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -62,8 +66,29 @@ fn paper_scale_arena() -> (ExpansionArena, Vec<usize>) {
     (arena, cluster)
 }
 
+/// A corpus where sparse terms freeze to sorted lists and frequent terms
+/// to bitmaps, so OR evaluation exercises both the heap-merge and the
+/// bitmap-union kernels.
+fn hybrid_corpus() -> Corpus {
+    let mut b = CorpusBuilder::new();
+    for i in 0..400usize {
+        let mut body = String::from("common");
+        if i % 2 == 0 {
+            body.push_str(" even");
+        }
+        if i % 129 == 0 {
+            body.push_str(" sparse129");
+        }
+        if i % 150 == 0 {
+            body.push_str(" sparse150");
+        }
+        b.add_document(DocumentSpec::text("", &body));
+    }
+    b.build()
+}
+
 #[test]
-fn warmed_iskr_performs_zero_heap_allocations() {
+fn warmed_iskr_and_search_perform_zero_heap_allocations() {
     let (arena, cluster) = paper_scale_arena();
     let inst = QecInstance::from_members(&arena, cluster);
     let config = IskrConfig::default();
@@ -89,5 +114,47 @@ fn warmed_iskr_performs_zero_heap_allocations() {
     assert_eq!(
         counted, 0,
         "iskr_into allocated on a warmed scratch: {counted} heap allocations counted"
+    );
+
+    // Retrieval: AND and OR, over every posting-representation mix — the
+    // all-sparse OR drives the k-way heap merge that now lives in the
+    // scratch.
+    let corpus = hybrid_corpus();
+    let searcher = Searcher::new(&corpus);
+    let t = |name: &str| corpus.keyword_term(name).expect("indexed");
+    let queries = [
+        vec![t("sparse129"), t("sparse150")], // sorted-only
+        vec![t("sparse129"), t("even")],      // mixed
+        vec![t("common"), t("even")],         // bitmap-only
+    ];
+    let mut search_scratch = SearchScratch::new();
+    // Two warm-up passes: the AND double-buffer swaps `cur`/`next`, so
+    // both buffers reach the workload's high-water mark only after the
+    // second pass through the query mix.
+    for _ in 0..2 {
+        for q in &queries {
+            searcher.and_query_into(q, &mut search_scratch);
+            searcher.or_query_into(q, &mut search_scratch);
+        }
+    }
+    let or_warm = searcher.or_query(&queries[0]);
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        for q in &queries {
+            searcher.and_query_into(q, &mut search_scratch);
+            searcher.or_query_into(q, &mut search_scratch);
+        }
+        searcher.or_query_into(&queries[0], &mut search_scratch);
+        assert!(search_scratch.results() == or_warm, "warmed OR stays correct");
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        counted, 0,
+        "boolean retrieval allocated on a warmed scratch: {counted} heap \
+         allocations counted"
     );
 }

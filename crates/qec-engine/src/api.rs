@@ -1,0 +1,142 @@
+//! The request/response types of the serving API.
+//!
+//! One request describes the whole paper pipeline for one user query —
+//! retrieve, rank, cluster by sense, expand one query per cluster — and
+//! one response carries the per-cluster expansions plus serving stats.
+//! Responses are designed for **buffer recycling**: every collection they
+//! hold is reused across requests when handed back through
+//! [`QecEngine::recycle`](crate::QecEngine::recycle), which is what lets a
+//! warmed [`expand`](crate::QecEngine::expand) run without heap
+//! allocation.
+
+use qec_core::QueryQuality;
+use qec_index::{DocId, QuerySemantics};
+use qec_text::TermId;
+
+/// Which [`Expander`](qec_core::Expander) strategy serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpandStrategy {
+    /// Iterative Single-Keyword Refinement (the paper's Algorithm 1) —
+    /// the default serving strategy, allocation-free when warmed.
+    #[default]
+    Iskr,
+    /// Exact-ΔF greedy refinement (§5's "F-measure" baseline). Highest
+    /// quality, 1–2 orders slower; allocates internally.
+    ExactDeltaF,
+    /// The partial-elimination baseline: one-shot static valuation with no
+    /// maintenance and no removals. Cheapest, lowest quality;
+    /// allocation-free when warmed.
+    Pebc,
+}
+
+/// One expansion request: the user query plus pipeline knobs.
+///
+/// Construct with [`ExpandRequest::new`] and override fields with struct
+/// update syntax:
+///
+/// ```
+/// use qec_engine::{ExpandRequest, ExpandStrategy};
+/// let req = ExpandRequest {
+///     k_clusters: 3,
+///     strategy: ExpandStrategy::Pebc,
+///     ..ExpandRequest::new("apple")
+/// };
+/// assert_eq!(req.query, "apple");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpandRequest<'q> {
+    /// The raw user query (analysed through the corpus analyzer:
+    /// tokenized, stopword-filtered, stemmed).
+    pub query: &'q str,
+    /// Upper bound on the number of sense clusters (the paper's
+    /// user-chosen granularity `k`).
+    pub k_clusters: usize,
+    /// Keep only the `top_k` ranked results as the expansion arena
+    /// (the paper works on top-30/100/500); `0` keeps every result.
+    pub top_k: usize,
+    /// Boolean semantics of the user query (the paper's default is AND).
+    pub semantics: QuerySemantics,
+    /// Expansion strategy serving this request.
+    pub strategy: ExpandStrategy,
+}
+
+impl<'q> ExpandRequest<'q> {
+    /// A request for `query` with the paper's defaults: AND semantics,
+    /// ISKR expansion, up to 5 clusters, no result truncation.
+    pub fn new(query: &'q str) -> Self {
+        Self {
+            query,
+            k_clusters: 5,
+            top_k: 0,
+            semantics: QuerySemantics::And,
+            strategy: ExpandStrategy::Iskr,
+        }
+    }
+}
+
+/// One cluster's share of a response: its members and its expanded query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterExpansion {
+    /// The cluster's documents, in arena (rank) order.
+    pub docs: Vec<DocId>,
+    /// Terms added to the user query, in ascending candidate order —
+    /// resolve to strings with
+    /// [`Corpus::term_name`](qec_index::Corpus::term_name).
+    pub added: Vec<TermId>,
+    /// Weighted precision/recall/F of the expanded query against the
+    /// cluster.
+    pub quality: QueryQuality,
+}
+
+/// Serving statistics of one [`expand`](crate::QecEngine::expand) call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpandStats {
+    /// Results in the expansion arena (after `top_k` truncation).
+    pub results: usize,
+    /// Candidate keywords considered for expansion.
+    pub candidates: usize,
+    /// Non-empty sense clusters expanded.
+    pub clusters: usize,
+    /// Whether the session served this request from its cached arena
+    /// (same query/semantics/`k`/`top_k` as the session's previous
+    /// request) instead of re-running retrieval + clustering.
+    pub arena_cache_hit: bool,
+    /// [`Expander::name`](qec_core::Expander::name) of the serving
+    /// strategy.
+    pub strategy: &'static str,
+}
+
+/// Response to one [`expand`](crate::QecEngine::expand) call.
+///
+/// Slot storage is recycled: the engine keeps more [`ClusterExpansion`]
+/// slots allocated than the current request used, so `clusters()` exposes
+/// only the live prefix.
+#[derive(Debug, Default)]
+pub struct ExpandResponse {
+    slots: Vec<ClusterExpansion>,
+    used: usize,
+    /// Serving statistics for this request.
+    pub stats: ExpandStats,
+}
+
+impl ExpandResponse {
+    /// The per-cluster expansions, one entry per non-empty cluster.
+    pub fn clusters(&self) -> &[ClusterExpansion] {
+        &self.slots[..self.used]
+    }
+
+    /// Marks `n` slots live, growing the slot pool if needed. Stale slots
+    /// beyond `n` keep their buffers for future reuse.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, ClusterExpansion::default);
+        }
+        self.used = n;
+    }
+
+    /// Mutable access to live slot `i` for the engine to fill.
+    pub(crate) fn slot(&mut self, i: usize) -> &mut ClusterExpansion {
+        debug_assert!(i < self.used);
+        &mut self.slots[i]
+    }
+}

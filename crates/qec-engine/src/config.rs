@@ -1,0 +1,30 @@
+//! Unified engine configuration.
+//!
+//! One [`EngineConfig`] gathers every stage's knobs — arena candidate
+//! selection, clustering, and all three expansion strategies — so a caller
+//! configures the whole pipeline in one place instead of threading five
+//! config structs through five crates by hand.
+
+use qec_cluster::KMeansConfig;
+use qec_core::{ArenaConfig, FMeasureConfig, IskrConfig, PebcConfig};
+
+/// Configuration for every stage behind [`QecEngine`](crate::QecEngine).
+///
+/// The defaults are the paper's: top-20% tf·idf candidate pruning, cosine
+/// k-means with k-means++ seeding, value>1 greedy expansion with removals
+/// and affected-only maintenance.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Candidate-keyword selection for the expansion arena (Defs 2.1/2.2,
+    /// §C pruning).
+    pub arena: ArenaConfig,
+    /// Default clusterer parameters (`k` itself comes from each request's
+    /// `k_clusters`).
+    pub kmeans: KMeansConfig,
+    /// ISKR (Algorithm 1) parameters.
+    pub iskr: IskrConfig,
+    /// Exact-ΔF baseline parameters.
+    pub exact: FMeasureConfig,
+    /// Partial-elimination baseline parameters.
+    pub pebc: PebcConfig,
+}

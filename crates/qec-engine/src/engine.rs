@@ -1,0 +1,342 @@
+//! The engine facade: corpus + configuration + pooled per-session state.
+//!
+//! [`QecEngine`] owns everything a serving process needs — the frozen
+//! [`Corpus`], an [`EngineConfig`], one instance of each
+//! [`Expander`] strategy, a boxed [`Clusterer`] — and a pool of session
+//! scratches so concurrent [`expand`](QecEngine::expand) calls never
+//! contend on working buffers.
+//!
+//! Hot-path discipline
+//! -------------------
+//! Each session keeps the **arena cache** of its previous request: the
+//! built [`ExpansionArena`], the per-cluster `(C, U)` bitsets, and the
+//! member doc lists. A repeat request (same query string, semantics, `k`,
+//! `top_k`) skips retrieval, ranking, clustering and arena construction
+//! entirely and re-runs only the expansion kernel — which, for the ISKR
+//! and PEBC strategies on a warmed scratch, performs **zero heap
+//! allocations** end to end (responses recycle their buffers through
+//! [`QecEngine::recycle`]; the `zero_alloc_engine` integration test arms a
+//! counting allocator around exactly this loop). Changing the query pays
+//! the full rebuild — that is the cold path by design.
+
+use std::sync::Mutex;
+
+use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, SparseVec};
+use qec_core::{
+    ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr, IskrScratch, Pebc, QecInstance,
+    ResultSet,
+};
+use qec_index::{
+    Corpus, CorpusBuilder, DocId, DocumentSpec, QuerySemantics, SearchScratch, Searcher,
+    TfIdfRanker,
+};
+
+use crate::api::{ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
+use crate::config::EngineConfig;
+
+/// One cluster's cached expansion inputs.
+#[derive(Debug)]
+struct CachedCluster {
+    /// Member documents in arena (rank) order.
+    docs: Vec<DocId>,
+    /// The cluster bitset `C` over the arena.
+    cluster: ResultSet,
+    /// The out-of-cluster universe `U` (arena complement of `C`).
+    universe: ResultSet,
+}
+
+/// The previous request's built pipeline state, kept per session.
+#[derive(Debug)]
+struct ArenaCache {
+    /// Raw query string the cache was built for (the cache key — raw
+    /// rather than analysed, so a hit needs no analyzer work at all).
+    query: String,
+    semantics: QuerySemantics,
+    k_clusters: usize,
+    top_k: usize,
+    arena: ExpansionArena,
+    clusters: Vec<CachedCluster>,
+}
+
+/// Reusable per-request working state; pooled by the engine.
+#[derive(Debug, Default)]
+struct SessionScratch {
+    /// Retrieval buffers (AND/OR evaluation).
+    search: SearchScratch,
+    /// Expansion working state shared by all strategies.
+    iskr: IskrScratch,
+    /// Per-cluster expansion output buffer.
+    expanded: ExpandedQuery,
+    /// The previous request's arena, clusters and member lists.
+    cache: Option<ArenaCache>,
+}
+
+/// The unified serving facade over retrieve → rank → cluster → expand.
+///
+/// Shared by reference across threads: `expand` takes `&self`, sessions
+/// and responses come from internal pools.
+pub struct QecEngine {
+    corpus: Corpus,
+    config: EngineConfig,
+    clusterer: Box<dyn Clusterer>,
+    iskr: Iskr,
+    exact: ExactDeltaF,
+    pebc: Pebc,
+    sessions: Mutex<Vec<SessionScratch>>,
+    responses: Mutex<Vec<ExpandResponse>>,
+}
+
+impl std::fmt::Debug for QecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QecEngine")
+            .field("docs", &self.corpus.num_docs())
+            .field("vocab", &self.corpus.vocab_size())
+            .field("clusterer", &self.clusterer.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QecEngine {
+    /// Starts a builder with an empty corpus and default configuration.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The engine's frozen corpus (for term/doc display, direct search,
+    /// corpus statistics).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Serves one expansion request.
+    ///
+    /// Returns a response drawn from the engine's recycle pool; hand it
+    /// back with [`recycle`](Self::recycle) to keep a serving loop
+    /// allocation-free. Dropping it instead is always safe — the next
+    /// request simply starts from fresh buffers.
+    pub fn expand(&self, req: &ExpandRequest<'_>) -> ExpandResponse {
+        let mut resp = lock(&self.responses).pop().unwrap_or_default();
+        let mut session = lock(&self.sessions).pop().unwrap_or_default();
+        self.run(req, &mut session, &mut resp);
+        lock(&self.sessions).push(session);
+        resp
+    }
+
+    /// Returns a response's buffers to the pool for reuse by later
+    /// [`expand`](Self::expand) calls.
+    pub fn recycle(&self, resp: ExpandResponse) {
+        lock(&self.responses).push(resp);
+    }
+
+    fn run(&self, req: &ExpandRequest<'_>, s: &mut SessionScratch, resp: &mut ExpandResponse) {
+        let hit = s.cache.as_ref().is_some_and(|c| {
+            c.query == req.query
+                && c.semantics == req.semantics
+                && c.k_clusters == req.k_clusters
+                && c.top_k == req.top_k
+        });
+        if !hit {
+            self.rebuild_cache(req, s);
+        }
+
+        let expander: &dyn Expander = match req.strategy {
+            ExpandStrategy::Iskr => &self.iskr,
+            ExpandStrategy::ExactDeltaF => &self.exact,
+            ExpandStrategy::Pebc => &self.pebc,
+        };
+        let cache = s.cache.as_mut().expect("cache built above");
+        let arena = &cache.arena;
+        resp.begin(cache.clusters.len());
+        for (i, cc) in cache.clusters.iter_mut().enumerate() {
+            // Move the cached (C, U) pair into a borrowing instance and
+            // back out — no clone, no allocation.
+            let cluster = std::mem::take(&mut cc.cluster);
+            let universe = std::mem::take(&mut cc.universe);
+            let inst = QecInstance::from_owned_parts(arena, cluster, universe);
+            expander.expand_into(&inst, &mut s.iskr, &mut s.expanded);
+            (cc.cluster, cc.universe) = inst.into_parts();
+
+            let slot = resp.slot(i);
+            slot.docs.clear();
+            slot.docs.extend_from_slice(&cc.docs);
+            slot.added.clear();
+            slot.added
+                .extend(s.expanded.added.iter().map(|&k| arena.candidate(k).term));
+            slot.quality = s.expanded.quality;
+        }
+        resp.stats = ExpandStats {
+            results: arena.size(),
+            candidates: arena.num_candidates(),
+            clusters: cache.clusters.len(),
+            arena_cache_hit: hit,
+            strategy: expander.name(),
+        };
+    }
+
+    /// The cold path: retrieve, rank, cluster, and build the expansion
+    /// arena for `req`, storing everything in the session's cache.
+    fn rebuild_cache(&self, req: &ExpandRequest<'_>, s: &mut SessionScratch) {
+        let corpus = &self.corpus;
+        let terms = corpus.query_terms(req.query);
+        let searcher = Searcher::new(corpus);
+        match req.semantics {
+            QuerySemantics::And => searcher.and_query_into(&terms, &mut s.search),
+            QuerySemantics::Or => searcher.or_query_into(&terms, &mut s.search),
+        }
+
+        let mut hits = TfIdfRanker::new(corpus).rank(s.search.results(), &terms);
+        if req.top_k > 0 {
+            hits.truncate(req.top_k);
+        }
+        let result_docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
+        let weights: Vec<f64> = hits.iter().map(|h| h.score).collect();
+
+        let vectors: Vec<SparseVec> = result_docs
+            .iter()
+            .map(|&d| doc_tf_vector(corpus, d))
+            .collect();
+        let assignment = self.clusterer.cluster(&vectors, req.k_clusters);
+
+        let arena = ExpansionArena::build(
+            corpus,
+            &result_docs,
+            Some(&weights),
+            &terms,
+            &self.config.arena,
+        );
+        let n = arena.size();
+        let full = ResultSet::full(n);
+        let clusters: Vec<CachedCluster> = (0..assignment.num_clusters())
+            .map(|c| {
+                let members = assignment.members(c);
+                let cluster =
+                    ResultSet::from_indices(n, members.iter().map(|&m| m as usize));
+                CachedCluster {
+                    docs: members.iter().map(|&m| result_docs[m as usize]).collect(),
+                    universe: full.and_not(&cluster),
+                    cluster,
+                }
+            })
+            .collect();
+
+        s.cache = Some(ArenaCache {
+            query: req.query.to_string(),
+            semantics: req.semantics,
+            k_clusters: req.k_clusters,
+            top_k: req.top_k,
+            arena,
+            clusters,
+        });
+    }
+}
+
+/// Locks a pool mutex, recovering from poisoning (pool contents are plain
+/// buffers — a panicked peer cannot leave them logically corrupt).
+fn lock<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Builds a [`QecEngine`] from documents or a prebuilt [`Corpus`].
+pub struct EngineBuilder {
+    source: Source,
+    config: EngineConfig,
+    clusterer: Option<Box<dyn Clusterer>>,
+}
+
+enum Source {
+    Building(CorpusBuilder),
+    Prebuilt(Corpus),
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Builder over an empty corpus; add documents with
+    /// [`document`](Self::document).
+    pub fn new() -> Self {
+        Self {
+            source: Source::Building(CorpusBuilder::new()),
+            config: EngineConfig::default(),
+            clusterer: None,
+        }
+    }
+
+    /// Builder over an already-built corpus (e.g. a loaded snapshot or a
+    /// synthetic benchmark corpus).
+    pub fn from_corpus(corpus: Corpus) -> Self {
+        Self {
+            source: Source::Prebuilt(corpus),
+            config: EngineConfig::default(),
+            clusterer: None,
+        }
+    }
+
+    /// Adds one document.
+    ///
+    /// # Panics
+    /// When the builder was created with [`from_corpus`](Self::from_corpus)
+    /// — a frozen corpus cannot take documents.
+    pub fn document(mut self, spec: DocumentSpec) -> Self {
+        match &mut self.source {
+            Source::Building(b) => {
+                b.add_document(spec);
+            }
+            Source::Prebuilt(_) => {
+                panic!("EngineBuilder::document: corpus is prebuilt and frozen")
+            }
+        }
+        self
+    }
+
+    /// Adds many documents (see [`document`](Self::document)).
+    pub fn documents(mut self, specs: impl IntoIterator<Item = DocumentSpec>) -> Self {
+        for spec in specs {
+            self = self.document(spec);
+        }
+        self
+    }
+
+    /// Replaces the whole pipeline configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the clusterer (default: cosine k-means configured by
+    /// [`EngineConfig::kmeans`]).
+    pub fn clusterer(mut self, clusterer: Box<dyn Clusterer>) -> Self {
+        self.clusterer = Some(clusterer);
+        self
+    }
+
+    /// Freezes the corpus (if building) and assembles the engine.
+    pub fn build(self) -> QecEngine {
+        let corpus = match self.source {
+            Source::Building(b) => b.build(),
+            Source::Prebuilt(c) => c,
+        };
+        let config = self.config;
+        let clusterer = self
+            .clusterer
+            .unwrap_or_else(|| Box::new(KMeansClusterer(config.kmeans.clone())));
+        QecEngine {
+            iskr: Iskr(config.iskr.clone()),
+            exact: ExactDeltaF(config.exact.clone()),
+            pebc: Pebc(config.pebc.clone()),
+            corpus,
+            config,
+            clusterer,
+            sessions: Mutex::new(Vec::new()),
+            responses: Mutex::new(Vec::new()),
+        }
+    }
+}

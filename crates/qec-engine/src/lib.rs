@@ -1,0 +1,51 @@
+//! The serving facade of the QEC reproduction.
+//!
+//! The paper's end-to-end loop — retrieve the user query, cluster the
+//! results by sense, expand one query per cluster (Defs 2.1/2.2,
+//! Algorithm 1) — behind **one request/response API**. Callers no longer
+//! thread `Analyzer → Corpus → Searcher → kmeans → ExpansionArena →
+//! QecInstance → iskr` by hand; they build a [`QecEngine`] once and call
+//! [`expand`](QecEngine::expand) per request, choosing a pluggable
+//! [`Expander`] strategy per call (ISKR, exact-ΔF, or the PEBC
+//! partial-elimination baseline) and a pluggable [`Clusterer`] per
+//! engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qec_engine::{DocumentSpec, EngineBuilder, ExpandRequest};
+//!
+//! let engine = EngineBuilder::new()
+//!     .document(DocumentSpec::text("Apple pie", "apple fruit pie baking recipe"))
+//!     .document(DocumentSpec::text("Apple Inc", "apple iphone store cupertino"))
+//!     .build();
+//! let response = engine.expand(&ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") });
+//! assert_eq!(response.clusters().len(), 2);
+//! ```
+//!
+//! # Serving model
+//!
+//! The engine is shared by reference across threads ([`expand`] takes
+//! `&self`); per-request working state comes from an internal pool of
+//! session scratches, each carrying the arena cache of its previous
+//! request. A repeated request re-runs only the expansion kernel, and with
+//! the ISKR or PEBC strategy a warmed request/[`recycle`] loop performs
+//! zero heap allocations (see `tests/zero_alloc_engine.rs`).
+//!
+//! [`expand`]: QecEngine::expand
+//! [`recycle`]: QecEngine::recycle
+
+pub mod api;
+pub mod config;
+pub mod engine;
+
+pub use api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
+pub use config::EngineConfig;
+pub use engine::{EngineBuilder, QecEngine};
+
+// Re-export the vocabulary types a facade caller needs, so simple servers
+// depend on `qec-engine` alone.
+pub use qec_cluster::{Clusterer, KMeansClusterer};
+pub use qec_core::{Expander, QueryQuality};
+pub use qec_index::{Corpus, DocId, DocumentSpec, QuerySemantics};
+pub use qec_text::TermId;

@@ -1,0 +1,96 @@
+//! Proof of the facade's zero-allocation claim: once a session's arena
+//! cache and a recycled response are warm, `engine.expand` serves repeat
+//! requests — cache probe, per-cluster expansion, response fill — without
+//! touching the heap, for both allocation-free strategies (ISKR and PEBC).
+//!
+//! A counting global allocator tallies every `alloc`/`realloc` while a
+//! flag is armed. The file holds exactly one test because the allocator
+//! count is process-global; a second concurrently running test would
+//! contaminate it.
+
+use qec_engine::{DocumentSpec, EngineBuilder, ExpandRequest, ExpandStrategy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warmed_engine_expand_performs_zero_heap_allocations() {
+    // A corpus big enough for real clustering and a non-trivial candidate
+    // set: two vocab families ("tech"/"farm") sharing the query term.
+    let engine = EngineBuilder::new()
+        .documents((0..60).map(|i| {
+            let body = if i % 2 == 0 {
+                format!("apple tech gadget{} chip{} market", i % 7, i % 5)
+            } else {
+                format!("apple farm orchard{} harvest{} cider", i % 7, i % 5)
+            };
+            DocumentSpec::text("", body)
+        }))
+        .build();
+
+    for strategy in [ExpandStrategy::Iskr, ExpandStrategy::Pebc] {
+        let req = ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            strategy,
+            ..ExpandRequest::new("apple")
+        };
+
+        // Warm-up: builds the session's arena cache, sizes every scratch
+        // and response buffer, and seeds the recycle pools.
+        let warm = engine.expand(&req);
+        assert!(
+            warm.clusters().iter().any(|c| !c.added.is_empty()),
+            "{strategy:?}: expansion must actually add keywords for this \
+             test to mean anything"
+        );
+        let expected = warm.clusters().to_vec();
+        engine.recycle(warm);
+        engine.recycle(engine.expand(&req)); // second pass settles the pools
+
+        // Armed runs: the whole request loop must stay off the heap.
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        for _ in 0..5 {
+            let resp = engine.expand(&req);
+            assert!(resp.stats.arena_cache_hit);
+            assert!(resp.clusters() == expected, "warmed serving stays deterministic");
+            engine.recycle(resp);
+        }
+        ARMED.store(false, Ordering::SeqCst);
+        let counted = ALLOCATIONS.load(Ordering::SeqCst);
+
+        assert_eq!(
+            counted, 0,
+            "{strategy:?}: warmed engine.expand allocated: {counted} heap \
+             allocations counted"
+        );
+    }
+}

@@ -42,10 +42,28 @@ pub const GALLOP_RATIO: usize = 8;
 /// so reusing it here would invert the crate graph. If the kernels ever
 /// grow past trivial (SIMD, ranks), extract a shared word-bitset crate
 /// below both — tracked as a ROADMAP open item.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct DocBitmap {
     words: Vec<u64>,
     num_docs: usize,
+}
+
+impl Clone for DocBitmap {
+    fn clone(&self) -> Self {
+        Self {
+            words: self.words.clone(),
+            num_docs: self.num_docs,
+        }
+    }
+
+    /// Manual impl because the derive would fall back to the default
+    /// `*self = source.clone()`, re-allocating the word buffer on every
+    /// call — `Vec::clone_from` reuses it, which the warmed
+    /// allocation-free search paths rely on.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.num_docs = source.num_docs;
+    }
 }
 
 impl DocBitmap {
@@ -111,6 +129,7 @@ impl DocBitmap {
         self.words.clear();
         self.words.resize(num_docs.div_ceil(64), 0);
     }
+
 
     /// In-place `self ∪= other` (must share the universe).
     pub fn or_assign(&mut self, other: &DocBitmap) {

@@ -26,7 +26,10 @@
 //! bitmap (word-wise ORs plus single inserts for sparse ids) and decodes
 //! once; with only sparse terms a binary heap merges the k sorted lists in
 //! `O(total · log k)` instead of the old repeated pairwise merges'
-//! `O(total · k)`.
+//! `O(total · k)`. The heap, the per-list cursors, and the list selection
+//! all live in [`SearchScratch`], so a warmed scratch makes OR evaluation
+//! allocation-free too (asserted by the `zero_alloc` integration test in
+//! `qec-core`).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -61,6 +64,13 @@ pub struct SearchScratch {
     terms: Vec<TermId>,
     /// Accumulator for bitmap∧bitmap / bitmap-union evaluation.
     bitmap: Option<DocBitmap>,
+    /// All-sparse OR: the terms whose sorted lists are being merged.
+    or_terms: Vec<TermId>,
+    /// All-sparse OR: k-way merge frontier, `(next doc, index into
+    /// `or_terms`)`.
+    or_heap: BinaryHeap<Reverse<(DocId, u32)>>,
+    /// All-sparse OR: per-list cursor (next unread position).
+    or_pos: Vec<u32>,
 }
 
 impl SearchScratch {
@@ -207,28 +217,35 @@ impl<'c> Searcher<'c> {
             }
             acc.decode_into(&mut scratch.cur);
         } else {
-            // All-sparse k-way heap merge, O(total · log k).
-            let lists: Vec<&[DocId]> = scratch
-                .terms
-                .iter()
-                .filter_map(|&t| match index.doc_ids(t) {
-                    PostingsView::Sorted(ids) if !ids.is_empty() => Some(ids),
-                    _ => None,
-                })
-                .collect();
-            let mut heap: BinaryHeap<Reverse<(DocId, usize)>> = lists
-                .iter()
-                .enumerate()
-                .map(|(li, ids)| Reverse((ids[0], li)))
-                .collect();
-            let mut pos = vec![1usize; lists.len()];
-            while let Some(Reverse((doc, li))) = heap.pop() {
+            // All-sparse k-way heap merge, O(total · log k). The merge
+            // state persists in the scratch; lists are re-resolved from the
+            // index per advance (an O(1) lookup) because slices borrowed
+            // from the index cannot outlive the call in a reusable scratch.
+            scratch.or_terms.clear();
+            scratch.or_heap.clear();
+            scratch.or_pos.clear();
+            for &t in &scratch.terms {
+                if let PostingsView::Sorted(ids) = index.doc_ids(t) {
+                    if !ids.is_empty() {
+                        let li = scratch.or_terms.len() as u32;
+                        scratch.or_terms.push(t);
+                        scratch.or_heap.push(Reverse((ids[0], li)));
+                        scratch.or_pos.push(1);
+                    }
+                }
+            }
+            while let Some(Reverse((doc, li))) = scratch.or_heap.pop() {
                 if scratch.cur.last() != Some(&doc) {
                     scratch.cur.push(doc);
                 }
-                if pos[li] < lists[li].len() {
-                    heap.push(Reverse((lists[li][pos[li]], li)));
-                    pos[li] += 1;
+                let PostingsView::Sorted(ids) = index.doc_ids(scratch.or_terms[li as usize])
+                else {
+                    unreachable!("or_terms holds sparse terms only")
+                };
+                let p = scratch.or_pos[li as usize] as usize;
+                if p < ids.len() {
+                    scratch.or_heap.push(Reverse((ids[p], li)));
+                    scratch.or_pos[li as usize] += 1;
                 }
             }
         }

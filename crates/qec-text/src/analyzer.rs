@@ -96,16 +96,17 @@ impl Analyzer {
     }
 
     /// Looks up the analysed form of `keyword` without interning new terms.
+    /// Only the first token is considered, so only it is materialised — no
+    /// intermediate token vector.
     pub fn lookup_keyword(&self, keyword: &str) -> Option<TermId> {
-        let tokens: Vec<String> = Tokenizer::new(keyword).map(|t| t.text).collect();
-        let tok = tokens.first()?;
-        if self.config.filter_stopwords && self.stopwords.contains(tok) {
+        let tok = Tokenizer::new(keyword).next()?.text;
+        if self.config.filter_stopwords && self.stopwords.contains(&tok) {
             return None;
         }
         let final_form = if self.config.stem {
-            self.stemmer.stem(tok)
+            self.stemmer.stem(&tok)
         } else {
-            tok.clone()
+            tok
         };
         self.dict.get(&final_form)
     }
