@@ -155,13 +155,16 @@ pub fn synth_arena(spec: &ArenaSpec) -> (ExpansionArena, Vec<ResultSet>) {
     (arena, clusters)
 }
 
-/// Zipf sampler over ranks `0..n` by inverse-CDF on a precomputed table.
-struct ZipfSampler {
+/// Zipf sampler over ranks `0..n` by inverse-CDF on a precomputed table
+/// (`s = 0` degenerates to uniform). Drives both the corpus generator and
+/// the query-skew replay of `bench_scalability`.
+pub struct ZipfSampler {
     cdf: Vec<f64>,
 }
 
 impl ZipfSampler {
-    fn new(n: usize, s: f64) -> Self {
+    /// Builds the CDF table for ranks `0..n` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 0..n {
@@ -175,7 +178,8 @@ impl ZipfSampler {
         Self { cdf }
     }
 
-    fn sample(&self, rng: &mut SplitMix64) -> usize {
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
         let u = rng.f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }

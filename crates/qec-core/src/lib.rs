@@ -35,6 +35,9 @@ pub use expander::{ExactDeltaF, Expander, Iskr, Pebc};
 pub use fmeasure::{fmeasure_refine, FMeasureConfig};
 pub use iskr::{iskr, iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
 pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
-pub use parallel::{expand_clusters, expand_clusters_with, expand_clusters_with_threads};
+pub use parallel::{
+    expand_clusters, expand_clusters_with, expand_clusters_with_threads,
+    expand_shared_clusters_with,
+};
 pub use pebc::{pebc, pebc_into, PebcConfig};
-pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance};
+pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance, SetSlot};

@@ -57,14 +57,46 @@ pub fn expand_clusters_with(
     expander: &dyn Expander,
     threads: usize,
 ) -> Vec<ExpandedQuery> {
-    let n = clusters.len();
+    expand_striped(clusters.len(), threads, expander, &|i| {
+        QecInstance::new(arena, clusters[i].clone())
+    })
+}
+
+/// Expands precomputed `(cluster, universe)` pairs borrowed from shared,
+/// immutable pipeline state — the fan-out path a serving cache hit takes at
+/// big `k`, where the pairs live inside an `Arc`-shared cache entry and
+/// must not be cloned or moved. Identical scheduling and output guarantees
+/// as [`expand_clusters_with`]; each pair must satisfy the
+/// [`QecInstance::from_shared_parts`] complement invariant.
+pub fn expand_shared_clusters_with<'a>(
+    arena: &'a ExpansionArena,
+    parts: &'a [(&'a ResultSet, &'a ResultSet)],
+    expander: &dyn Expander,
+    threads: usize,
+) -> Vec<ExpandedQuery> {
+    expand_striped(parts.len(), threads, expander, &|i| {
+        QecInstance::from_shared_parts(arena, parts[i].0, parts[i].1)
+    })
+}
+
+/// The shared scheduling skeleton: `make(i)` builds the `i`-th instance on
+/// whichever worker the stripe lands on.
+fn expand_striped<'a, F>(
+    n: usize,
+    threads: usize,
+    expander: &dyn Expander,
+    make: &F,
+) -> Vec<ExpandedQuery>
+where
+    F: Fn(usize) -> QecInstance<'a> + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
     let mut out: Vec<Option<ExpandedQuery>> = vec![None; n];
 
     if threads == 1 {
         let mut scratch = IskrScratch::new();
-        for (slot, cluster) in out.iter_mut().zip(clusters) {
-            *slot = Some(expand_one(arena, cluster, expander, &mut scratch));
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(expand_one(&make(i), expander, &mut scratch));
         }
     } else {
         // Hand each worker a strided view of the output slots; the stripes
@@ -81,7 +113,7 @@ pub fn expand_clusters_with(
                 scope.spawn(move || {
                     let mut scratch = IskrScratch::new();
                     for (i, slot) in stripe {
-                        *slot = Some(expand_one(arena, &clusters[i], expander, &mut scratch));
+                        *slot = Some(expand_one(&make(i), expander, &mut scratch));
                     }
                 });
             }
@@ -94,14 +126,12 @@ pub fn expand_clusters_with(
 }
 
 fn expand_one(
-    arena: &ExpansionArena,
-    cluster: &ResultSet,
+    inst: &QecInstance<'_>,
     expander: &dyn Expander,
     scratch: &mut IskrScratch,
 ) -> ExpandedQuery {
-    let inst = QecInstance::new(arena, cluster.clone());
     let mut out = ExpandedQuery::default();
-    expander.expand_into(&inst, scratch, &mut out);
+    expander.expand_into(inst, scratch, &mut out);
     out
 }
 
@@ -163,6 +193,23 @@ mod tests {
         let (arena, _) = arena_with_clusters(32, 2);
         let out = expand_clusters(&arena, &[], &IskrConfig::default());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shared_parts_fanout_matches_owned_clusters() {
+        let (arena, clusters) = arena_with_clusters(96, 6);
+        let full = ResultSet::full(arena.size());
+        let universes: Vec<ResultSet> = clusters.iter().map(|c| full.and_not(c)).collect();
+        let parts: Vec<(&ResultSet, &ResultSet)> = clusters.iter().zip(&universes).collect();
+        let strategy = Iskr(IskrConfig::default());
+        let owned = expand_clusters_with(&arena, &clusters, &strategy, 4);
+        for threads in [1, 4, 16] {
+            assert_eq!(
+                expand_shared_clusters_with(&arena, &parts, &strategy, threads),
+                owned,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -262,15 +262,50 @@ fn normalize_weights(w: &[f64]) -> Vec<f64> {
     w.iter().map(|&x| (x * scale).max(0.0)).collect()
 }
 
+/// A `(C, U)` bitset slot of a [`QecInstance`]: owned by the instance (the
+/// classic construction paths) or borrowed from shared, immutable pipeline
+/// state — e.g. an `Arc`-cached cluster pair living across serving
+/// sessions. Dereferences to [`ResultSet`], so every read path is oblivious
+/// to the variant; the expansion algorithms only ever read `C` and `U`.
+#[derive(Debug, Clone)]
+pub enum SetSlot<'a> {
+    /// The instance owns the bitset.
+    Owned(ResultSet),
+    /// The bitset is borrowed from shared pipeline state.
+    Shared(&'a ResultSet),
+}
+
+impl std::ops::Deref for SetSlot<'_> {
+    type Target = ResultSet;
+
+    #[inline]
+    fn deref(&self) -> &ResultSet {
+        match self {
+            SetSlot::Owned(s) => s,
+            SetSlot::Shared(s) => s,
+        }
+    }
+}
+
+impl SetSlot<'_> {
+    /// The bitset by value — a clone when shared.
+    pub fn into_owned(self) -> ResultSet {
+        match self {
+            SetSlot::Owned(s) => s,
+            SetSlot::Shared(s) => s.clone(),
+        }
+    }
+}
+
 /// One cluster's expansion problem (Definition 2.2).
 #[derive(Debug)]
 pub struct QecInstance<'a> {
     /// Shared arena.
     pub arena: &'a ExpansionArena,
     /// The cluster `C` (ground truth).
-    pub cluster: ResultSet,
+    pub cluster: SetSlot<'a>,
     /// Everything else, `U`.
-    pub universe_set: ResultSet,
+    pub universe_set: SetSlot<'a>,
 }
 
 impl<'a> QecInstance<'a> {
@@ -280,8 +315,8 @@ impl<'a> QecInstance<'a> {
         let universe_set = ResultSet::full(arena.size()).and_not(&cluster);
         Self {
             arena,
-            cluster,
-            universe_set,
+            cluster: SetSlot::Owned(cluster),
+            universe_set: SetSlot::Owned(universe_set),
         }
     }
 
@@ -292,7 +327,7 @@ impl<'a> QecInstance<'a> {
 
     /// Reassembles an instance from parts previously taken with
     /// [`into_parts`](Self::into_parts) — the allocation-free path for a
-    /// serving loop that caches `(C, U)` pairs per cluster and rebuilds the
+    /// serving loop that owns `(C, U)` pairs per cluster and rebuilds the
     /// borrowing instance per request. `universe_set` must be the arena
     /// complement of `cluster` (checked in debug builds).
     pub fn from_owned_parts(
@@ -305,15 +340,36 @@ impl<'a> QecInstance<'a> {
         debug_assert_eq!(cluster.len() + universe_set.len(), arena.size());
         Self {
             arena,
-            cluster,
-            universe_set,
+            cluster: SetSlot::Owned(cluster),
+            universe_set: SetSlot::Owned(universe_set),
+        }
+    }
+
+    /// Builds an instance over shared `(C, U)` bitsets — the borrow path of
+    /// the cross-session arena cache, where the cached pair stays immutable
+    /// inside an `Arc`-shared pipeline entry while any number of concurrent
+    /// instances read it. No allocation, no copy; `universe_set` must be the
+    /// arena complement of `cluster` (checked in debug builds).
+    pub fn from_shared_parts(
+        arena: &'a ExpansionArena,
+        cluster: &'a ResultSet,
+        universe_set: &'a ResultSet,
+    ) -> Self {
+        debug_assert_eq!(cluster.universe(), arena.size());
+        debug_assert!(!cluster.intersects(universe_set));
+        debug_assert_eq!(cluster.len() + universe_set.len(), arena.size());
+        Self {
+            arena,
+            cluster: SetSlot::Shared(cluster),
+            universe_set: SetSlot::Shared(universe_set),
         }
     }
 
     /// Disassembles the instance into its owned `(cluster, universe)`
-    /// bitsets, releasing the arena borrow without dropping the buffers.
+    /// bitsets — cloning when the instance borrowed shared state — without
+    /// dropping owned buffers.
     pub fn into_parts(self) -> (ResultSet, ResultSet) {
-        (self.cluster, self.universe_set)
+        (self.cluster.into_owned(), self.universe_set.into_owned())
     }
 
     /// Quality of result set `r` against this instance's cluster.

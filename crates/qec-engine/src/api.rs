@@ -13,6 +13,8 @@ use qec_core::QueryQuality;
 use qec_index::{DocId, QuerySemantics};
 use qec_text::TermId;
 
+use crate::cache::CacheStats;
+
 /// Which [`Expander`](qec_core::Expander) strategy serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExpandStrategy {
@@ -97,13 +99,17 @@ pub struct ExpandStats {
     pub candidates: usize,
     /// Non-empty sense clusters expanded.
     pub clusters: usize,
-    /// Whether the session served this request from its cached arena
-    /// (same query/semantics/`k`/`top_k` as the session's previous
-    /// request) instead of re-running retrieval + clustering.
+    /// Whether this request was served from the engine's shared arena
+    /// cache (another request — any session, any thread — already built
+    /// the pipeline for the same analysed terms, semantics, `k`, `top_k`)
+    /// instead of re-running retrieval + clustering.
     pub arena_cache_hit: bool,
     /// [`Expander::name`](qec_core::Expander::name) of the serving
     /// strategy.
     pub strategy: &'static str,
+    /// Snapshot of the shared cache's cumulative hit/miss/eviction
+    /// counters and occupancy, taken after this request's probe.
+    pub cache: CacheStats,
 }
 
 /// Response to one [`expand`](crate::QecEngine::expand) call.

@@ -1,0 +1,545 @@
+//! The cross-session shared arena cache: an LRU of `Arc`-shared pipeline
+//! state keyed on **analysed query terms**.
+//!
+//! Why analysed terms
+//! ------------------
+//! A raw-string key treats `"apples"`, `"apple"` and `"  APPLE ,"` as three
+//! different queries although every pipeline stage downstream of the
+//! analyzer sees the identical term list. Keying on the analysed terms —
+//! sorted, because retrieval, ranking, clustering and arena construction
+//! are all term-order-invariant — means the Nth user of a hot query pays
+//! only expansion cost no matter how they spelled it. Distinct analyses
+//! never collide: the full key (terms with multiplicity, semantics,
+//! `k_clusters`, `top_k`) is compared on every probe, not just its hash.
+//!
+//! Sharing model
+//! -------------
+//! Entries are `Arc<CachedPipeline>`: the immutable expansion arena plus
+//! each cluster's `(C, U)` bitsets and member list. A hit clones the `Arc`
+//! and the session expands through borrowing instances
+//! ([`qec_core::QecInstance::from_shared_parts`]); all mutable state (ISKR
+//! scratch, expansion output, response buffers) stays session-local. An
+//! entry evicted while a request still holds its `Arc` stays fully valid
+//! until that last holder drops — eviction only severs the cache's
+//! reference.
+//!
+//! Allocation discipline
+//! ---------------------
+//! A **probe hit is allocation-free**: hashing the borrowed key, the bucket
+//! lookup, the recency-list relink and the `Arc` clone all stay off the
+//! heap. The **miss path is allowed to allocate** exactly: the owned copy
+//! of the key, the new entry (slab slot + bucket vector growth), and the
+//! `CachedPipeline` itself — which the engine builds outside the cache
+//! lock. Eviction frees memory but allocates nothing.
+//!
+//! Structure: a slab of entries carrying an intrusive doubly-linked
+//! recency list (MRU at head), plus hash buckets (`FxHashMap<u64,
+//! Vec<slot>>`) resolving full-key equality per bucket entry. Every
+//! operation is O(1) amortised in the entry count.
+
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use qec_core::{ExpansionArena, ResultSet};
+use qec_index::{DocId, QuerySemantics};
+use qec_text::fxhash::{FxHashMap, FxHasher};
+use qec_text::TermId;
+
+/// One cluster's cached expansion inputs (immutable once cached).
+#[derive(Debug)]
+pub struct CachedCluster {
+    /// Member documents in arena (rank) order.
+    pub docs: Vec<DocId>,
+    /// The cluster bitset `C` over the arena.
+    pub cluster: ResultSet,
+    /// The out-of-cluster universe `U` (arena complement of `C`).
+    pub universe: ResultSet,
+}
+
+/// Everything the retrieve → rank → cluster → arena pipeline built for one
+/// analysed query: the shared, immutable half of a request. Sessions keep
+/// only mutable scratch local.
+#[derive(Debug)]
+pub struct CachedPipeline {
+    /// The expansion arena (results, weights, candidates, eliminator map).
+    pub arena: ExpansionArena,
+    /// Per-cluster `(C, U)` pairs and member lists.
+    pub clusters: Vec<CachedCluster>,
+}
+
+/// A borrowed cache key, for probing and inserting without building an
+/// owned key first (the hit path never allocates one).
+///
+/// `terms` must be the analysed query terms in **sorted** order (duplicates
+/// preserved — term multiplicity affects tf·idf ranking, so `"java java"`
+/// and `"java"` are genuinely different pipelines).
+#[derive(Debug, Clone, Copy)]
+pub struct KeyRef<'a> {
+    /// Sorted analysed terms, with multiplicity.
+    pub terms: &'a [TermId],
+    /// Boolean semantics of the query.
+    pub semantics: QuerySemantics,
+    /// Requested cluster granularity.
+    pub k_clusters: usize,
+    /// Arena truncation.
+    pub top_k: usize,
+}
+
+impl KeyRef<'_> {
+    fn hash64(&self) -> u64 {
+        debug_assert!(self.terms.is_sorted(), "cache keys use sorted terms");
+        let mut h = FxHasher::default();
+        self.terms.hash(&mut h);
+        self.semantics.hash(&mut h);
+        self.k_clusters.hash(&mut h);
+        self.top_k.hash(&mut h);
+        h.finish()
+    }
+
+    fn matches(&self, owned: &OwnedKey) -> bool {
+        self.semantics == owned.semantics
+            && self.k_clusters == owned.k_clusters
+            && self.top_k == owned.top_k
+            && self.terms == &owned.terms[..]
+    }
+
+    fn to_owned_key(self) -> OwnedKey {
+        OwnedKey {
+            terms: self.terms.into(),
+            semantics: self.semantics,
+            k_clusters: self.k_clusters,
+            top_k: self.top_k,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OwnedKey {
+    terms: Box<[TermId]>,
+    semantics: QuerySemantics,
+    k_clusters: usize,
+    top_k: usize,
+}
+
+/// Snapshot of the cache's cumulative counters and occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes served from cache.
+    pub hits: u64,
+    /// Probes that found no entry.
+    pub misses: u64,
+    /// Entries dropped to make room (each freed the pipeline memory unless
+    /// a request still held the `Arc`).
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Maximum entries before LRU eviction.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of probes served from cache (`0.0` before any probe).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sentinel for "no slot" in the intrusive recency list.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    hash: u64,
+    key: OwnedKey,
+    value: Arc<CachedPipeline>,
+    /// Towards the MRU end.
+    prev: usize,
+    /// Towards the LRU end.
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct Lru {
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    buckets: FxHashMap<u64, Vec<usize>>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The engine-wide, thread-safe arena cache. See the module docs for the
+/// keying, sharing and allocation contracts.
+#[derive(Debug)]
+pub struct SharedArenaCache {
+    capacity: usize,
+    inner: Mutex<Lru>,
+}
+
+impl SharedArenaCache {
+    /// An empty cache holding at most `capacity` pipelines (`0` never
+    /// stores anything; every probe is then a counted miss).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Lru {
+                head: NIL,
+                tail: NIL,
+                ..Lru::default()
+            }),
+        }
+    }
+
+    /// Maximum number of cached pipelines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Probes for `key`, refreshing its recency and counting a hit or miss.
+    /// Allocation-free on both outcomes.
+    pub fn get(&self, key: KeyRef<'_>) -> Option<Arc<CachedPipeline>> {
+        self.get_with_stats(key).0
+    }
+
+    /// [`get`](Self::get) plus a post-probe stats snapshot under the one
+    /// lock acquisition — the serving hot path, which wants both without
+    /// touching the engine-wide mutex twice per request.
+    pub fn get_with_stats(&self, key: KeyRef<'_>) -> (Option<Arc<CachedPipeline>>, CacheStats) {
+        let hash = key.hash64();
+        let mut g = self.lock();
+        let found = match find(&g, hash, key) {
+            Some(i) => {
+                g.hits += 1;
+                touch(&mut g, i);
+                Some(Arc::clone(&g.slots[i].as_ref().expect("live slot").value))
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        };
+        let stats = self.snapshot(&g);
+        (found, stats)
+    }
+
+    /// Probes for `key` without refreshing recency or counting stats — for
+    /// tests and introspection.
+    pub fn peek(&self, key: KeyRef<'_>) -> Option<Arc<CachedPipeline>> {
+        let hash = key.hash64();
+        let g = self.lock();
+        find(&g, hash, key).map(|i| Arc::clone(&g.slots[i].as_ref().expect("live slot").value))
+    }
+
+    /// Publishes `value` under `key`, evicting the least-recently-used
+    /// entry when full, and returns a post-insert stats snapshot under the
+    /// one lock acquisition. Re-inserting an existing key replaces its
+    /// value and refreshes its recency (concurrent misses on one key race
+    /// benignly: pipelines are deterministic, so whichever build lands
+    /// last is identical to the first).
+    pub fn insert(&self, key: KeyRef<'_>, value: Arc<CachedPipeline>) -> CacheStats {
+        let hash = key.hash64();
+        let mut g = self.lock();
+        if self.capacity == 0 {
+            return self.snapshot(&g);
+        }
+        if let Some(i) = find(&g, hash, key) {
+            g.slots[i].as_mut().expect("live slot").value = value;
+            touch(&mut g, i);
+            return self.snapshot(&g);
+        }
+        if g.len == self.capacity {
+            evict_tail(&mut g);
+        }
+        let slot = match g.free.pop() {
+            Some(s) => s,
+            None => {
+                g.slots.push(None);
+                g.slots.len() - 1
+            }
+        };
+        g.slots[slot] = Some(Entry {
+            hash,
+            key: key.to_owned_key(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        g.buckets.entry(hash).or_default().push(slot);
+        link_front(&mut g, slot);
+        g.len += 1;
+        self.snapshot(&g)
+    }
+
+    /// Cumulative counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.lock();
+        self.snapshot(&g)
+    }
+
+    fn snapshot(&self, g: &Lru) -> CacheStats {
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// The cached pipelines from most- to least-recently used — for tests
+    /// and introspection (e.g. dumping what a serving process keeps hot).
+    pub fn entries_mru(&self) -> Vec<Arc<CachedPipeline>> {
+        let g = self.lock();
+        let mut out = Vec::with_capacity(g.len);
+        let mut i = g.head;
+        while i != NIL {
+            let e = g.slots[i].as_ref().expect("live slot");
+            out.push(Arc::clone(&e.value));
+            i = e.next;
+        }
+        out
+    }
+
+    /// Locks the state, recovering from poisoning (the structure is fixed
+    /// up before any panic-free section ends, and a poisoned recency order
+    /// at worst evicts a suboptimal entry).
+    fn lock(&self) -> MutexGuard<'_, Lru> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn find(g: &Lru, hash: u64, key: KeyRef<'_>) -> Option<usize> {
+    g.buckets.get(&hash)?.iter().copied().find(|&i| {
+        let e = g.slots[i].as_ref().expect("bucket points at live slot");
+        e.hash == hash && key.matches(&e.key)
+    })
+}
+
+/// Moves `i` to the MRU head.
+fn touch(g: &mut Lru, i: usize) {
+    if g.head == i {
+        return;
+    }
+    unlink(g, i);
+    link_front(g, i);
+}
+
+fn unlink(g: &mut Lru, i: usize) {
+    let (prev, next) = {
+        let e = g.slots[i].as_ref().expect("live slot");
+        (e.prev, e.next)
+    };
+    match prev {
+        NIL => g.head = next,
+        p => g.slots[p].as_mut().expect("live slot").next = next,
+    }
+    match next {
+        NIL => g.tail = prev,
+        n => g.slots[n].as_mut().expect("live slot").prev = prev,
+    }
+}
+
+fn link_front(g: &mut Lru, i: usize) {
+    let old = g.head;
+    {
+        let e = g.slots[i].as_mut().expect("live slot");
+        e.prev = NIL;
+        e.next = old;
+    }
+    match old {
+        NIL => g.tail = i,
+        o => g.slots[o].as_mut().expect("live slot").prev = i,
+    }
+    g.head = i;
+}
+
+fn evict_tail(g: &mut Lru) {
+    let i = g.tail;
+    debug_assert_ne!(i, NIL, "evict on empty cache");
+    unlink(g, i);
+    let e = g.slots[i].take().expect("live slot");
+    let bucket = g.buckets.get_mut(&e.hash).expect("entry has a bucket");
+    bucket.retain(|&s| s != i);
+    if bucket.is_empty() {
+        g.buckets.remove(&e.hash);
+    }
+    g.free.push(i);
+    g.len -= 1;
+    g.evictions += 1;
+    // `e` drops here: the Arc releases the cache's reference; any request
+    // still holding a clone keeps the pipeline alive.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A distinguishable dummy pipeline: `tag` is recoverable as
+    /// `arena.size() - 1`.
+    fn pipe(tag: usize) -> Arc<CachedPipeline> {
+        Arc::new(CachedPipeline {
+            arena: ExpansionArena::from_parts(vec![1.0; tag + 1], Vec::new()),
+            clusters: Vec::new(),
+        })
+    }
+
+    fn tag_of(p: &CachedPipeline) -> usize {
+        p.arena.size() - 1
+    }
+
+    fn terms(ids: &[u32]) -> Vec<TermId> {
+        ids.iter().map(|&i| TermId(i)).collect()
+    }
+
+    fn keyed(terms: &[TermId]) -> KeyRef<'_> {
+        KeyRef {
+            terms,
+            semantics: QuerySemantics::And,
+            k_clusters: 5,
+            top_k: 0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_value_and_counts() {
+        let cache = SharedArenaCache::new(4);
+        let t = terms(&[1, 2]);
+        assert!(cache.get(keyed(&t)).is_none());
+        cache.insert(keyed(&t), pipe(7));
+        let got = cache.get(keyed(&t)).expect("cached");
+        assert_eq!(tag_of(&got), 7);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_respecting_eviction_in_lru_order() {
+        let cache = SharedArenaCache::new(3);
+        let all: Vec<Vec<TermId>> = (0..5).map(|i| terms(&[i])).collect();
+        for (i, t) in all.iter().enumerate().take(3) {
+            cache.insert(keyed(t), pipe(i));
+        }
+        assert_eq!(cache.stats().entries, 3);
+        // Inserting a 4th evicts the oldest (key 0), a 5th evicts key 1.
+        cache.insert(keyed(&all[3]), pipe(3));
+        assert!(cache.peek(keyed(&all[0])).is_none(), "LRU entry evicted");
+        assert!(cache.peek(keyed(&all[1])).is_some());
+        cache.insert(keyed(&all[4]), pipe(4));
+        assert!(cache.peek(keyed(&all[1])).is_none());
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (3, 2));
+        let tags: Vec<usize> = cache.entries_mru().iter().map(|p| tag_of(p)).collect();
+        assert_eq!(tags, vec![4, 3, 2], "MRU → LRU order");
+    }
+
+    #[test]
+    fn reaccess_refreshes_recency() {
+        let cache = SharedArenaCache::new(3);
+        let all: Vec<Vec<TermId>> = (0..4).map(|i| terms(&[i])).collect();
+        for (i, t) in all.iter().enumerate().take(3) {
+            cache.insert(keyed(t), pipe(i));
+        }
+        // Touch key 0: key 1 becomes the LRU and is evicted by key 3.
+        assert!(cache.get(keyed(&all[0])).is_some());
+        cache.insert(keyed(&all[3]), pipe(3));
+        assert!(cache.peek(keyed(&all[0])).is_some(), "refreshed entry kept");
+        assert!(cache.peek(keyed(&all[1])).is_none(), "stale entry evicted");
+        // peek must NOT refresh: peeking key 2 then inserting evicts key 2.
+        assert!(cache.peek(keyed(&all[2])).is_some());
+        let t4 = terms(&[9]);
+        cache.insert(keyed(&t4), pipe(9));
+        assert!(cache.peek(keyed(&all[2])).is_none(), "peek is recency-neutral");
+    }
+
+    #[test]
+    fn evicted_entry_stays_valid_for_holders() {
+        let cache = SharedArenaCache::new(1);
+        let a = terms(&[1]);
+        let b = terms(&[2]);
+        cache.insert(keyed(&a), pipe(10));
+        let held = cache.get(keyed(&a)).expect("cached");
+        assert_eq!(Arc::strong_count(&held), 2, "cache + holder");
+        cache.insert(keyed(&b), pipe(20)); // evicts `a` while `held` lives
+        assert!(cache.peek(keyed(&a)).is_none());
+        assert_eq!(tag_of(&held), 10, "evicted pipeline still readable");
+        assert_eq!(Arc::strong_count(&held), 1, "cache reference severed");
+    }
+
+    #[test]
+    fn distinct_keys_never_collide() {
+        let cache = SharedArenaCache::new(16);
+        let t12 = terms(&[1, 2]);
+        let t1 = terms(&[1]);
+        let t112 = terms(&[1, 1, 2]);
+        cache.insert(keyed(&t12), pipe(0));
+        assert!(cache.peek(keyed(&t1)).is_none(), "subset of terms");
+        assert!(cache.peek(keyed(&t112)).is_none(), "multiplicity differs");
+        assert!(
+            cache
+                .peek(KeyRef { k_clusters: 4, ..keyed(&t12) })
+                .is_none(),
+            "k differs"
+        );
+        assert!(
+            cache
+                .peek(KeyRef { top_k: 30, ..keyed(&t12) })
+                .is_none(),
+            "top_k differs"
+        );
+        assert!(
+            cache
+                .peek(KeyRef { semantics: QuerySemantics::Or, ..keyed(&t12) })
+                .is_none(),
+            "semantics differ"
+        );
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_refreshes() {
+        let cache = SharedArenaCache::new(2);
+        let a = terms(&[1]);
+        let b = terms(&[2]);
+        cache.insert(keyed(&a), pipe(1));
+        cache.insert(keyed(&b), pipe(2));
+        cache.insert(keyed(&a), pipe(3)); // replace, no eviction
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 0));
+        assert_eq!(tag_of(&cache.peek(keyed(&a)).unwrap()), 3);
+        // `a` is now MRU, so a new key evicts `b`.
+        let c = terms(&[3]);
+        cache.insert(keyed(&c), pipe(4));
+        assert!(cache.peek(keyed(&b)).is_none());
+        assert!(cache.peek(keyed(&a)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = SharedArenaCache::new(0);
+        let t = terms(&[1]);
+        cache.insert(keyed(&t), pipe(0));
+        assert!(cache.get(keyed(&t)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.entries, s.misses, s.evictions), (0, 1, 0));
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_eviction() {
+        let cache = SharedArenaCache::new(2);
+        for i in 0..10u32 {
+            let t = terms(&[i]);
+            cache.insert(keyed(&t), pipe(i as usize));
+        }
+        let g = cache.lock();
+        assert!(g.slots.len() <= 3, "slab bounded near capacity: {}", g.slots.len());
+    }
+}

@@ -1,19 +1,43 @@
 //! Unified engine configuration.
 //!
 //! One [`EngineConfig`] gathers every stage's knobs — arena candidate
-//! selection, clustering, and all three expansion strategies — so a caller
-//! configures the whole pipeline in one place instead of threading five
-//! config structs through five crates by hand.
+//! selection, clustering, all three expansion strategies, the shared arena
+//! cache and the big-`k` fan-out — so a caller configures the whole
+//! pipeline in one place instead of threading config structs through five
+//! crates by hand.
 
 use qec_cluster::KMeansConfig;
 use qec_core::{ArenaConfig, FMeasureConfig, IskrConfig, PebcConfig};
+
+/// Knobs of the cross-session shared arena cache
+/// ([`SharedArenaCache`](crate::cache::SharedArenaCache)).
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Probe and publish the shared cache at all. `false` makes every
+    /// request rebuild its pipeline — the cold-path baseline
+    /// `bench_scalability` measures against.
+    pub enabled: bool,
+    /// Maximum cached pipelines before LRU eviction (`0` behaves like
+    /// `enabled: false` but is still constructed, so stats read as empty).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            capacity: 128,
+        }
+    }
+}
 
 /// Configuration for every stage behind [`QecEngine`](crate::QecEngine).
 ///
 /// The defaults are the paper's: top-20% tf·idf candidate pruning, cosine
 /// k-means with k-means++ seeding, value>1 greedy expansion with removals
-/// and affected-only maintenance.
-#[derive(Debug, Clone, Default)]
+/// and affected-only maintenance — plus a 128-entry shared arena cache and
+/// sequential per-cluster expansion below 8 clusters.
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Candidate-keyword selection for the expansion arena (Defs 2.1/2.2,
     /// §C pruning).
@@ -27,4 +51,28 @@ pub struct EngineConfig {
     pub exact: FMeasureConfig,
     /// Partial-elimination baseline parameters.
     pub pebc: PebcConfig,
+    /// Shared cross-session arena cache.
+    pub cache: CacheConfig,
+    /// Requests with at least this many non-empty clusters expand through
+    /// the scoped-thread fan-out
+    /// ([`qec_core::expand_shared_clusters_with`]) instead of the
+    /// sequential loop. The fan-out trades the zero-allocation discipline
+    /// for per-cluster parallelism, which wins at big `k` on cache hits
+    /// where expansion is the whole request. `usize::MAX` keeps every
+    /// request sequential.
+    pub fanout_min_clusters: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            arena: ArenaConfig::default(),
+            kmeans: KMeansConfig::default(),
+            iskr: IskrConfig::default(),
+            exact: FMeasureConfig::default(),
+            pebc: PebcConfig::default(),
+            cache: CacheConfig::default(),
+            fanout_min_clusters: 8,
+        }
+    }
 }

@@ -1,64 +1,51 @@
-//! The engine facade: corpus + configuration + pooled per-session state.
+//! The engine facade: corpus + configuration + shared cache + pooled
+//! per-session scratch.
 //!
 //! [`QecEngine`] owns everything a serving process needs — the frozen
-//! [`Corpus`], an [`EngineConfig`], one instance of each
-//! [`Expander`] strategy, a boxed [`Clusterer`] — and a pool of session
-//! scratches so concurrent [`expand`](QecEngine::expand) calls never
-//! contend on working buffers.
+//! [`Corpus`], an [`EngineConfig`], one instance of each [`Expander`]
+//! strategy, a boxed [`Clusterer`], the cross-session
+//! [`SharedArenaCache`] — plus pools of session scratches and responses so
+//! concurrent [`expand`](QecEngine::expand) calls never contend on working
+//! buffers.
 //!
 //! Hot-path discipline
 //! -------------------
-//! Each session keeps the **arena cache** of its previous request: the
-//! built [`ExpansionArena`], the per-cluster `(C, U)` bitsets, and the
-//! member doc lists. A repeat request (same query string, semantics, `k`,
-//! `top_k`) skips retrieval, ranking, clustering and arena construction
-//! entirely and re-runs only the expansion kernel — which, for the ISKR
-//! and PEBC strategies on a warmed scratch, performs **zero heap
-//! allocations** end to end (responses recycle their buffers through
-//! [`QecEngine::recycle`]; the `zero_alloc_engine` integration test arms a
-//! counting allocator around exactly this loop). Changing the query pays
-//! the full rebuild — that is the cold path by design.
+//! Every request analyses its query into **sorted term ids** (through
+//! reusable session buffers — no allocation once warm) and probes the
+//! shared cache with that key. A hit anywhere in the process — same
+//! session, another session, another thread — clones the `Arc`d
+//! [`CachedPipeline`] (immutable [`ExpansionArena`], per-cluster `(C, U)`
+//! bitsets, member lists) and re-runs only the expansion kernel through
+//! borrowing [`QecInstance`]s; for the ISKR and PEBC strategies on warmed
+//! scratch this performs **zero heap allocations** end to end (responses
+//! recycle their buffers through [`QecEngine::recycle`]; the
+//! `zero_alloc_engine` integration test arms a counting allocator around
+//! exactly this loop). A miss pays the full retrieve → rank → cluster →
+//! arena rebuild and publishes the result for every other session.
+//! Requests with at least [`EngineConfig::fanout_min_clusters`] non-empty
+//! clusters trade the zero-allocation discipline for the scoped-thread
+//! per-cluster fan-out instead.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, SparseVec};
 use qec_core::{
-    ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr, IskrScratch, Pebc, QecInstance,
-    ResultSet,
+    expand_shared_clusters_with, ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr,
+    IskrScratch, Pebc, QecInstance, ResultSet,
 };
 use qec_index::{
     Corpus, CorpusBuilder, DocId, DocumentSpec, QuerySemantics, SearchScratch, Searcher,
     TfIdfRanker,
 };
+use qec_text::TermId;
 
-use crate::api::{ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
+use crate::api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
+use crate::cache::{CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache};
 use crate::config::EngineConfig;
 
-/// One cluster's cached expansion inputs.
-#[derive(Debug)]
-struct CachedCluster {
-    /// Member documents in arena (rank) order.
-    docs: Vec<DocId>,
-    /// The cluster bitset `C` over the arena.
-    cluster: ResultSet,
-    /// The out-of-cluster universe `U` (arena complement of `C`).
-    universe: ResultSet,
-}
-
-/// The previous request's built pipeline state, kept per session.
-#[derive(Debug)]
-struct ArenaCache {
-    /// Raw query string the cache was built for (the cache key — raw
-    /// rather than analysed, so a hit needs no analyzer work at all).
-    query: String,
-    semantics: QuerySemantics,
-    k_clusters: usize,
-    top_k: usize,
-    arena: ExpansionArena,
-    clusters: Vec<CachedCluster>,
-}
-
-/// Reusable per-request working state; pooled by the engine.
+/// Reusable per-request working state; pooled by the engine. Everything
+/// mutable a request touches lives here or in the response — the pipeline
+/// itself is shared immutably through the cache.
 #[derive(Debug, Default)]
 struct SessionScratch {
     /// Retrieval buffers (AND/OR evaluation).
@@ -67,14 +54,17 @@ struct SessionScratch {
     iskr: IskrScratch,
     /// Per-cluster expansion output buffer.
     expanded: ExpandedQuery,
-    /// The previous request's arena, clusters and member lists.
-    cache: Option<ArenaCache>,
+    /// Analysed, sorted query terms — the body of the shared-cache key.
+    terms: Vec<TermId>,
+    /// Per-keyword token/stem buffer of the alloc-free analysis path.
+    keyword_buf: String,
 }
 
 /// The unified serving facade over retrieve → rank → cluster → expand.
 ///
-/// Shared by reference across threads: `expand` takes `&self`, sessions
-/// and responses come from internal pools.
+/// Shared by reference across threads: `expand` takes `&self`; sessions
+/// and responses come from internal pools, and built pipelines are shared
+/// across all sessions through the [`SharedArenaCache`].
 pub struct QecEngine {
     corpus: Corpus,
     config: EngineConfig,
@@ -82,6 +72,11 @@ pub struct QecEngine {
     iskr: Iskr,
     exact: ExactDeltaF,
     pebc: Pebc,
+    cache: SharedArenaCache,
+    /// Worker count for the big-`k` fan-out, resolved once at build time
+    /// (`available_parallelism` probes cgroup/affinity state per call —
+    /// not something to pay on the serving hot path).
+    fanout_threads: usize,
     sessions: Mutex<Vec<SessionScratch>>,
     responses: Mutex<Vec<ExpandResponse>>,
 }
@@ -92,6 +87,7 @@ impl std::fmt::Debug for QecEngine {
             .field("docs", &self.corpus.num_docs())
             .field("vocab", &self.corpus.vocab_size())
             .field("clusterer", &self.clusterer.name())
+            .field("cache", &self.cache.stats())
             .finish_non_exhaustive()
     }
 }
@@ -111,6 +107,12 @@ impl QecEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Cumulative shared-cache statistics (each response also carries a
+    /// snapshot in [`ExpandStats::cache`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Serves one expansion request.
@@ -134,62 +136,104 @@ impl QecEngine {
     }
 
     fn run(&self, req: &ExpandRequest<'_>, s: &mut SessionScratch, resp: &mut ExpandResponse) {
-        let hit = s.cache.as_ref().is_some_and(|c| {
-            c.query == req.query
-                && c.semantics == req.semantics
-                && c.k_clusters == req.k_clusters
-                && c.top_k == req.top_k
-        });
-        if !hit {
-            self.rebuild_cache(req, s);
+        // Analyse and canonicalise the query. Retrieval, ranking,
+        // clustering and arena construction are all term-order-invariant
+        // (ranking is a per-term sum), so sorted terms are both a safe
+        // pipeline input and the canonical cache key: "apples store" and
+        // "store apple" share one entry. Multiplicity is preserved —
+        // duplicate terms change tf·idf scores, so they stay distinct keys.
+        self.corpus
+            .query_terms_into(req.query, &mut s.terms, &mut s.keyword_buf);
+        s.terms.sort_unstable();
+        let key = KeyRef {
+            terms: &s.terms,
+            semantics: req.semantics,
+            k_clusters: req.k_clusters,
+            top_k: req.top_k,
+        };
+
+        let caching = self.config.cache.enabled && self.cache.capacity() > 0;
+        let mut hit = false;
+        let mut pipeline = None;
+        let mut cache_stats = CacheStats::default();
+        if caching {
+            let (found, stats) = self.cache.get_with_stats(key);
+            cache_stats = stats;
+            if let Some(p) = found {
+                pipeline = Some(p);
+                hit = true;
+            }
         }
+        let pipeline = match pipeline {
+            Some(p) => p,
+            None => {
+                // The cold path; built outside the cache lock, so a
+                // concurrent miss on the same key at worst duplicates the
+                // (deterministic) build rather than serialising everyone.
+                let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+                if caching {
+                    cache_stats = self.cache.insert(key, Arc::clone(&built));
+                }
+                built
+            }
+        };
 
         let expander: &dyn Expander = match req.strategy {
             ExpandStrategy::Iskr => &self.iskr,
             ExpandStrategy::ExactDeltaF => &self.exact,
             ExpandStrategy::Pebc => &self.pebc,
         };
-        let cache = s.cache.as_mut().expect("cache built above");
-        let arena = &cache.arena;
-        resp.begin(cache.clusters.len());
-        for (i, cc) in cache.clusters.iter_mut().enumerate() {
-            // Move the cached (C, U) pair into a borrowing instance and
-            // back out — no clone, no allocation.
-            let cluster = std::mem::take(&mut cc.cluster);
-            let universe = std::mem::take(&mut cc.universe);
-            let inst = QecInstance::from_owned_parts(arena, cluster, universe);
-            expander.expand_into(&inst, &mut s.iskr, &mut s.expanded);
-            (cc.cluster, cc.universe) = inst.into_parts();
-
-            let slot = resp.slot(i);
-            slot.docs.clear();
-            slot.docs.extend_from_slice(&cc.docs);
-            slot.added.clear();
-            slot.added
-                .extend(s.expanded.added.iter().map(|&k| arena.candidate(k).term));
-            slot.quality = s.expanded.quality;
+        let arena = &pipeline.arena;
+        resp.begin(pipeline.clusters.len());
+        if pipeline.clusters.len() >= self.config.fanout_min_clusters {
+            // Big k: per-cluster fan-out. Allocates (stripe bookkeeping,
+            // worker scratches) but wins wall-clock when expansion
+            // dominates the request — the common case on cache hits.
+            let parts: Vec<(&ResultSet, &ResultSet)> = pipeline
+                .clusters
+                .iter()
+                .map(|cc| (&cc.cluster, &cc.universe))
+                .collect();
+            let outs = expand_shared_clusters_with(arena, &parts, expander, self.fanout_threads);
+            for (i, (cc, out)) in pipeline.clusters.iter().zip(&outs).enumerate() {
+                fill_slot(resp.slot(i), cc, out, arena);
+            }
+        } else {
+            for (i, cc) in pipeline.clusters.iter().enumerate() {
+                let inst = QecInstance::from_shared_parts(arena, &cc.cluster, &cc.universe);
+                expander.expand_into(&inst, &mut s.iskr, &mut s.expanded);
+                fill_slot(resp.slot(i), cc, &s.expanded, arena);
+            }
         }
         resp.stats = ExpandStats {
             results: arena.size(),
             candidates: arena.num_candidates(),
-            clusters: cache.clusters.len(),
+            clusters: pipeline.clusters.len(),
             arena_cache_hit: hit,
             strategy: expander.name(),
+            cache: cache_stats,
         };
     }
 
     /// The cold path: retrieve, rank, cluster, and build the expansion
-    /// arena for `req`, storing everything in the session's cache.
-    fn rebuild_cache(&self, req: &ExpandRequest<'_>, s: &mut SessionScratch) {
+    /// arena for `req`'s analysed `terms`. Everything returned is
+    /// immutable; the caller wraps it in an `Arc` and (when caching)
+    /// publishes it to the shared cache. All miss-path allocations happen
+    /// here and in the cache insert.
+    fn build_pipeline(
+        &self,
+        req: &ExpandRequest<'_>,
+        terms: &[TermId],
+        search: &mut SearchScratch,
+    ) -> CachedPipeline {
         let corpus = &self.corpus;
-        let terms = corpus.query_terms(req.query);
         let searcher = Searcher::new(corpus);
         match req.semantics {
-            QuerySemantics::And => searcher.and_query_into(&terms, &mut s.search),
-            QuerySemantics::Or => searcher.or_query_into(&terms, &mut s.search),
+            QuerySemantics::And => searcher.and_query_into(terms, search),
+            QuerySemantics::Or => searcher.or_query_into(terms, search),
         }
 
-        let mut hits = TfIdfRanker::new(corpus).rank(s.search.results(), &terms);
+        let mut hits = TfIdfRanker::new(corpus).rank(search.results(), terms);
         if req.top_k > 0 {
             hits.truncate(req.top_k);
         }
@@ -206,7 +250,7 @@ impl QecEngine {
             corpus,
             &result_docs,
             Some(&weights),
-            &terms,
+            terms,
             &self.config.arena,
         );
         let n = arena.size();
@@ -214,8 +258,7 @@ impl QecEngine {
         let clusters: Vec<CachedCluster> = (0..assignment.num_clusters())
             .map(|c| {
                 let members = assignment.members(c);
-                let cluster =
-                    ResultSet::from_indices(n, members.iter().map(|&m| m as usize));
+                let cluster = ResultSet::from_indices(n, members.iter().map(|&m| m as usize));
                 CachedCluster {
                     docs: members.iter().map(|&m| result_docs[m as usize]).collect(),
                     universe: full.and_not(&cluster),
@@ -224,15 +267,24 @@ impl QecEngine {
             })
             .collect();
 
-        s.cache = Some(ArenaCache {
-            query: req.query.to_string(),
-            semantics: req.semantics,
-            k_clusters: req.k_clusters,
-            top_k: req.top_k,
-            arena,
-            clusters,
-        });
+        CachedPipeline { arena, clusters }
     }
+}
+
+/// Copies one cluster's cached members and expansion output into a
+/// response slot, reusing the slot's buffers.
+fn fill_slot(
+    slot: &mut ClusterExpansion,
+    cc: &CachedCluster,
+    out: &ExpandedQuery,
+    arena: &ExpansionArena,
+) {
+    slot.docs.clear();
+    slot.docs.extend_from_slice(&cc.docs);
+    slot.added.clear();
+    slot.added
+        .extend(out.added.iter().map(|&k| arena.candidate(k).term));
+    slot.quality = out.quality;
 }
 
 /// Locks a pool mutex, recovering from poisoning (pool contents are plain
@@ -311,6 +363,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the shared arena cache's capacity (entries before LRU
+    /// eviction; `0` never stores).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache.capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the shared arena cache entirely (disabled:
+    /// every request rebuilds its pipeline).
+    pub fn cache_enabled(mut self, enabled: bool) -> Self {
+        self.config.cache.enabled = enabled;
+        self
+    }
+
     /// Replaces the clusterer (default: cosine k-means configured by
     /// [`EngineConfig::kmeans`]).
     pub fn clusterer(mut self, clusterer: Box<dyn Clusterer>) -> Self {
@@ -332,6 +398,10 @@ impl EngineBuilder {
             iskr: Iskr(config.iskr.clone()),
             exact: ExactDeltaF(config.exact.clone()),
             pebc: Pebc(config.pebc.clone()),
+            cache: SharedArenaCache::new(config.cache.capacity),
+            fanout_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             corpus,
             config,
             clusterer,

@@ -27,20 +27,28 @@
 //!
 //! The engine is shared by reference across threads ([`expand`] takes
 //! `&self`); per-request working state comes from an internal pool of
-//! session scratches, each carrying the arena cache of its previous
-//! request. A repeated request re-runs only the expansion kernel, and with
-//! the ISKR or PEBC strategy a warmed request/[`recycle`] loop performs
-//! zero heap allocations (see `tests/zero_alloc_engine.rs`).
+//! session scratches, and **built pipelines are shared across all
+//! sessions** through the [`cache::SharedArenaCache`] — a cross-session
+//! LRU keyed on the *analysed* query terms, so `"apples"` and `"apple"`
+//! (or any case/whitespace variant) share one entry. A hit anywhere in the
+//! process clones the `Arc`d pipeline and re-runs only the expansion
+//! kernel; with the ISKR or PEBC strategy a warmed request/[`recycle`]
+//! loop performs zero heap allocations (see `tests/zero_alloc_engine.rs`).
+//! Cache capacity, eviction and hit/miss/eviction statistics are exposed
+//! through [`EngineConfig`], [`EngineBuilder::cache_capacity`] /
+//! [`EngineBuilder::cache_enabled`], and [`ExpandStats::cache`].
 //!
 //! [`expand`]: QecEngine::expand
 //! [`recycle`]: QecEngine::recycle
 
 pub mod api;
+pub mod cache;
 pub mod config;
 pub mod engine;
 
 pub use api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
-pub use config::EngineConfig;
+pub use cache::{CacheStats, SharedArenaCache};
+pub use config::{CacheConfig, EngineConfig};
 pub use engine::{EngineBuilder, QecEngine};
 
 // Re-export the vocabulary types a facade caller needs, so simple servers

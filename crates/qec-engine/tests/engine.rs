@@ -62,15 +62,24 @@ fn repeat_requests_hit_the_arena_cache() {
     let pebc = engine.expand(&ExpandRequest { strategy: ExpandStrategy::Pebc, ..req.clone() });
     assert!(pebc.stats.arena_cache_hit);
     assert_eq!(pebc.stats.strategy, "pebc");
-    // …but a different query, k, or top_k misses.
+    // …as does any query analysing to the same terms (the cache key is the
+    // analysed term list, not the raw string)…
+    let plural = engine.expand(&ExpandRequest { query: "Apples,", ..req.clone() });
+    assert!(plural.stats.arena_cache_hit, "\"Apples,\" analyses to \"appl\"");
+    assert_eq!(plural.clusters(), warm.clusters());
+    // …but a different analysed query, k, or top_k misses (the first
+    // time; the shared cache then keeps each of them too).
     for miss in [
         ExpandRequest { query: "fruit", ..req.clone() },
         ExpandRequest { k_clusters: 3, ..req.clone() },
         ExpandRequest { top_k: 4, ..req.clone() },
     ] {
         assert!(!engine.expand(&miss).stats.arena_cache_hit, "{miss:?}");
-        engine.expand(&req); // restore the session cache to `req`
+        assert!(engine.expand(&miss).stats.arena_cache_hit, "now cached: {miss:?}");
     }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 4, "apple + three variants");
+    assert_eq!(stats.evictions, 0);
 }
 
 #[test]

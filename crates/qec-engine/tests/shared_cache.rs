@@ -1,0 +1,281 @@
+//! The cross-session shared arena cache, end to end: concurrency stress
+//! (bit-identical results + hot hit rates), engine-level LRU eviction, and
+//! analysed-key normalization.
+
+use qec_engine::{
+    DocumentSpec, EngineBuilder, ExpandRequest, QecEngine, QuerySemantics,
+};
+
+/// A three-sense corpus where "apple", "fruit" and "store" each retrieve a
+/// non-trivial, clusterable result set.
+fn engine_with(docs: usize, cache_capacity: usize) -> QecEngine {
+    EngineBuilder::new()
+        .documents((0..docs).map(|i| {
+            let body = match i % 3 {
+                0 => format!("apple tech gadget{} chip{} store market", i % 7, i % 5),
+                1 => format!("apple fruit orchard{} harvest{} cider", i % 7, i % 5),
+                _ => format!("fruit store retail{} shelf{} market", i % 7, i % 5),
+            };
+            DocumentSpec::text("", body)
+        }))
+        .cache_capacity(cache_capacity)
+        .build()
+}
+
+const QUERIES: [&str; 3] = ["apple", "fruit", "store"];
+
+fn req(query: &str) -> ExpandRequest<'_> {
+    ExpandRequest {
+        k_clusters: 3,
+        top_k: 40,
+        ..ExpandRequest::new(query)
+    }
+}
+
+/// N threads × M rounds over a warmed engine: every response must be
+/// bit-identical to the single-threaded baseline, and after warm-up every
+/// single request must hit the shared cache — hit-rate ≥
+/// (N·M·Q − distinct)/(N·M·Q) holds with room to spare because the
+/// distinct keys were already cached.
+#[test]
+fn concurrent_sessions_share_one_cache() {
+    let engine = engine_with(90, 128);
+    let baselines: Vec<_> = QUERIES
+        .iter()
+        .map(|q| {
+            let r = engine.expand(&req(q));
+            assert!(!r.clusters().is_empty(), "{q} must retrieve results");
+            r.clusters().to_vec()
+        })
+        .collect();
+
+    let before = engine.cache_stats();
+    assert_eq!(before.entries, QUERIES.len());
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 6;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for (q, baseline) in QUERIES.iter().zip(&baselines) {
+                        let r = engine.expand(&req(q));
+                        assert!(r.stats.arena_cache_hit, "{q} warmed");
+                        assert_eq!(r.clusters(), &baseline[..], "{q} bit-identical");
+                        engine.recycle(r);
+                    }
+                }
+            });
+        }
+    });
+
+    let after = engine.cache_stats();
+    let total = (THREADS * ROUNDS * QUERIES.len()) as u64;
+    assert_eq!(after.hits - before.hits, total, "warmed traffic is all hits");
+    assert_eq!(after.misses, before.misses, "no rebuilds under load");
+    assert_eq!(after.entries, QUERIES.len());
+}
+
+/// From a cold cache, racing threads may duplicate a build (each key
+/// misses at most once per thread before the first insert lands), but
+/// results stay bit-identical and the miss count is bounded.
+#[test]
+fn cold_concurrent_races_stay_deterministic() {
+    let engine = engine_with(90, 128);
+    // An identical twin engine provides the reference outputs (pipeline
+    // builds are fully deterministic, so twin == original).
+    let reference = engine_with(90, 128);
+    let baselines: Vec<_> = QUERIES
+        .iter()
+        .map(|q| reference.expand(&req(q)).clusters().to_vec())
+        .collect();
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for (q, baseline) in QUERIES.iter().zip(&baselines) {
+                        let r = engine.expand(&req(q));
+                        assert_eq!(r.clusters(), &baseline[..], "{q} bit-identical");
+                        engine.recycle(r);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    let total = (THREADS * ROUNDS * QUERIES.len()) as u64;
+    let max_misses = (THREADS * QUERIES.len()) as u64;
+    assert!(stats.misses <= max_misses, "misses {} bounded", stats.misses);
+    assert_eq!(stats.hits + stats.misses, total);
+    assert!(
+        stats.hits >= total - max_misses,
+        "hit-rate ≥ (total − N·distinct)/total after the first round"
+    );
+    assert_eq!(stats.entries, QUERIES.len());
+}
+
+/// Engine-level LRU: a capacity-2 cache evicts the least-recently-used
+/// analysed query, re-access refreshes recency, and evicted queries
+/// rebuild correctly.
+#[test]
+fn engine_cache_evicts_lru_and_rebuilds() {
+    let engine = engine_with(60, 2);
+    let cold = |q: &str| !engine.expand(&req(q)).stats.arena_cache_hit;
+    assert!(cold("apple"));
+    assert!(cold("fruit"));
+    assert!(!cold("apple"), "apple still cached; now the MRU");
+    assert!(cold("store"), "third distinct query");
+    assert_eq!(engine.cache_stats().evictions, 1, "fruit was the LRU");
+    assert!(!cold("apple"), "apple survived the eviction");
+    assert!(cold("fruit"), "fruit was evicted and rebuilds (evicting store)");
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.evictions, 2);
+}
+
+/// Queries that analyse to the same sorted term multiset share one entry;
+/// distinct analyses never collide.
+#[test]
+fn analysed_key_normalization() {
+    let engine = engine_with(60, 128);
+    let base = engine.expand(&req("apple fruit"));
+    assert!(!base.stats.arena_cache_hit);
+
+    // Case, whitespace, separators, stemming, term order: all one entry.
+    for variant in [
+        "apples fruits",
+        "  APPLE,   FRUIT  ",
+        "fruit apple",
+        "Fruits, Apples",
+    ] {
+        let r = engine.expand(&req(variant));
+        assert!(r.stats.arena_cache_hit, "{variant:?} shares the entry");
+        assert_eq!(r.clusters(), base.clusters(), "{variant:?} bit-identical");
+    }
+    assert_eq!(engine.cache_stats().entries, 1);
+
+    // Distinct analyses miss: subset, added term, duplicate multiplicity
+    // (duplicates change tf·idf ranking), different knobs.
+    for (distinct, why) in [
+        (req("apple"), "subset of terms"),
+        (req("apple fruit store"), "extra term"),
+        (req("apple apple fruit"), "term multiplicity"),
+        (
+            ExpandRequest { k_clusters: 2, ..req("apple fruit") },
+            "different k",
+        ),
+        (
+            ExpandRequest { top_k: 10, ..req("apple fruit") },
+            "different top_k",
+        ),
+        (
+            ExpandRequest { semantics: QuerySemantics::Or, ..req("apple fruit") },
+            "different semantics",
+        ),
+    ] {
+        assert!(!engine.expand(&distinct).stats.arena_cache_hit, "{why}");
+    }
+
+    // Queries whose every keyword is unknown or a stopword analyse to the
+    // empty term list — they are genuinely the same (empty) pipeline and
+    // deliberately share one entry.
+    assert!(!engine.expand(&req("zebra")).stats.arena_cache_hit);
+    for empty in ["", "the of and", "xylophone"] {
+        let r = engine.expand(&req(empty));
+        assert!(r.stats.arena_cache_hit, "{empty:?} analyses to no terms");
+        assert!(r.clusters().is_empty());
+    }
+}
+
+/// The big-`k` fan-out path (`fanout_min_clusters`) produces responses
+/// bit-identical to the sequential zero-alloc loop, on cold and warmed
+/// requests alike.
+#[test]
+fn fanout_path_matches_sequential() {
+    let docs = || {
+        (0..90).map(|i| {
+            let body = match i % 3 {
+                0 => format!("apple tech gadget{} chip{} store market", i % 7, i % 5),
+                1 => format!("apple fruit orchard{} harvest{} cider", i % 7, i % 5),
+                _ => format!("apple store retail{} shelf{} market", i % 7, i % 5),
+            };
+            DocumentSpec::text("", body)
+        })
+    };
+    let sequential = EngineBuilder::new().documents(docs()).build();
+    let config = qec_engine::EngineConfig {
+        fanout_min_clusters: 1, // every request fans out
+        ..Default::default()
+    };
+    let fanned = EngineBuilder::new().documents(docs()).config(config).build();
+
+    for k in [2, 4, 6] {
+        let r = ExpandRequest { k_clusters: k, ..req("apple") };
+        let want = sequential.expand(&r);
+        let cold = fanned.expand(&r);
+        assert!(!cold.stats.arena_cache_hit);
+        assert_eq!(cold.clusters(), want.clusters(), "cold fan-out, k={k}");
+        let warm = fanned.expand(&r);
+        assert!(warm.stats.arena_cache_hit);
+        assert_eq!(warm.clusters(), want.clusters(), "warm fan-out, k={k}");
+    }
+}
+
+/// Disabling the cache makes every request rebuild and leaves the cache
+/// untouched; capacity 0 behaves the same through the probe path.
+#[test]
+fn disabled_or_zero_capacity_cache_always_rebuilds() {
+    let disabled = EngineBuilder::new()
+        .documents((0..30).map(|i| DocumentSpec::text("", format!("apple w{i}"))))
+        .cache_enabled(false)
+        .build();
+    for _ in 0..3 {
+        let r = disabled.expand(&req("apple"));
+        assert!(!r.stats.arena_cache_hit);
+        let c = r.stats.cache;
+        assert_eq!((c.hits, c.misses, c.entries), (0, 0, 0), "cache never touched");
+    }
+
+    let zero = EngineBuilder::new()
+        .documents((0..30).map(|i| DocumentSpec::text("", format!("apple w{i}"))))
+        .cache_capacity(0)
+        .build();
+    for _ in 0..3 {
+        assert!(!zero.expand(&req("apple")).stats.arena_cache_hit);
+    }
+    assert_eq!(zero.cache_stats().entries, 0);
+}
+
+/// Responses built from an entry that gets evicted mid-flight stay valid:
+/// each response copies what it needs, and the `Arc` keeps the pipeline
+/// alive for any request still expanding it (the cache-level guarantee is
+/// unit-tested in `qec_engine::cache`; this exercises it under serving
+/// traffic with constant eviction pressure).
+#[test]
+fn eviction_pressure_never_corrupts_responses() {
+    let engine = engine_with(90, 1); // every distinct query evicts
+    let baselines: Vec<_> = QUERIES
+        .iter()
+        .map(|q| engine.expand(&req(q)).clusters().to_vec())
+        .collect();
+    let (engine, baselines) = (&engine, &baselines);
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                for i in 0..12 {
+                    let pick = (t + i) % QUERIES.len();
+                    let r = engine.expand(&req(QUERIES[pick]));
+                    assert_eq!(r.clusters(), &baselines[pick][..]);
+                    engine.recycle(r);
+                }
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 1);
+    assert!(stats.evictions > 0, "capacity 1 must have evicted");
+}

@@ -152,11 +152,27 @@ impl Corpus {
     /// Unknown and stopword keywords are dropped, mirroring a search engine
     /// that silently ignores non-matching terms.
     pub fn query_terms(&self, query: &str) -> Vec<TermId> {
-        query
+        let mut out = Vec::new();
+        let mut buf = String::new();
+        self.query_terms_into(query, &mut out, &mut buf);
+        out
+    }
+
+    /// [`query_terms`](Self::query_terms) into caller-owned buffers: term
+    /// ids land in `out` (cleared first) and `buf` is per-keyword token
+    /// scratch. Once both buffers are warm this analyses a query with zero
+    /// heap allocations — the serving engine probes its shared arena cache
+    /// with exactly this path on every request.
+    pub fn query_terms_into(&self, query: &str, out: &mut Vec<TermId>, buf: &mut String) {
+        out.clear();
+        for kw in query
             .split(|c: char| c.is_whitespace() || c == ',')
             .filter(|s| !s.is_empty())
-            .filter_map(|kw| self.keyword_term(kw))
-            .collect()
+        {
+            if let Some(term) = self.analyzer.lookup_keyword_into(kw, buf) {
+                out.push(term);
+            }
+        }
     }
 
     /// Human-readable name of a term.

@@ -42,7 +42,7 @@ use crate::postings::{
 use qec_text::TermId;
 
 /// Which boolean semantics a query uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QuerySemantics {
     /// A result must contain every keyword (the paper's default).
     #[default]

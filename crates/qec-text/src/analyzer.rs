@@ -99,16 +99,24 @@ impl Analyzer {
     /// Only the first token is considered, so only it is materialised — no
     /// intermediate token vector.
     pub fn lookup_keyword(&self, keyword: &str) -> Option<TermId> {
-        let tok = Tokenizer::new(keyword).next()?.text;
-        if self.config.filter_stopwords && self.stopwords.contains(&tok) {
+        let mut buf = String::new();
+        self.lookup_keyword_into(keyword, &mut buf)
+    }
+
+    /// [`lookup_keyword`](Self::lookup_keyword) through a caller-owned
+    /// buffer: the token and its stem are built in `buf` (cleared first), so
+    /// once `buf`'s capacity covers the longest keyword the lookup performs
+    /// no heap allocation. This is the analysed-cache-key path of the
+    /// serving engine.
+    pub fn lookup_keyword_into(&self, keyword: &str, buf: &mut String) -> Option<TermId> {
+        Tokenizer::new(keyword).next_into(buf)?;
+        if self.config.filter_stopwords && self.stopwords.contains(buf) {
             return None;
         }
-        let final_form = if self.config.stem {
-            self.stemmer.stem(&tok)
-        } else {
-            tok
-        };
-        self.dict.get(&final_form)
+        if self.config.stem {
+            self.stemmer.stem_in_place(buf);
+        }
+        self.dict.get(buf)
     }
 
     /// Shared dictionary (read access).

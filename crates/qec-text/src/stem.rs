@@ -33,10 +33,21 @@ impl PorterStemmer {
     /// that must not be mangled). Words of length ≤ 2 are returned as-is,
     /// per the original algorithm.
     pub fn stem(&self, word: &str) -> String {
+        let mut out = word.to_string();
+        self.stem_in_place(&mut out);
+        out
+    }
+
+    /// Stems `word` in place. No rule in the original algorithm grows a word
+    /// beyond its input length (every `S1 → S2` replacement is
+    /// non-lengthening), so this never allocates — which keeps the serving
+    /// cache's analysed-key probe off the heap when it stems query keywords
+    /// through a reused buffer.
+    pub fn stem_in_place(&self, word: &mut String) {
         if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
-            return word.to_string();
+            return;
         }
-        let mut w: Vec<u8> = word.as_bytes().to_vec();
+        let mut w: Vec<u8> = std::mem::take(word).into_bytes();
         step1a(&mut w);
         step1b(&mut w);
         step1c(&mut w);
@@ -45,7 +56,7 @@ impl PorterStemmer {
         step4(&mut w);
         step5a(&mut w);
         step5b(&mut w);
-        String::from_utf8(w).expect("stemmer operates on ASCII")
+        *word = String::from_utf8(w).expect("stemmer operates on ASCII");
     }
 }
 

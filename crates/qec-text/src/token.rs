@@ -51,12 +51,14 @@ impl<'a> Tokenizer<'a> {
     fn is_token_byte(b: u8) -> bool {
         b.is_ascii_alphanumeric() || b == b'\''
     }
-}
 
-impl<'a> Iterator for Tokenizer<'a> {
-    type Item = Token;
-
-    fn next(&mut self) -> Option<Token> {
+    /// Advances to the next token, writing its normalized text into `out`
+    /// (cleared first) and returning the token's byte offset, or `None` when
+    /// the input is exhausted. Reusing one `out` buffer across calls keeps
+    /// tokenization allocation-free once the buffer's capacity covers the
+    /// longest token — the discipline the serving cache's analysed-key probe
+    /// relies on. `out`'s contents are meaningful only on `Some`.
+    pub fn next_into(&mut self, out: &mut String) -> Option<usize> {
         loop {
             // Skip separators.
             while self.pos < self.bytes.len() && !Self::is_token_byte(self.bytes[self.pos]) {
@@ -70,21 +72,32 @@ impl<'a> Iterator for Tokenizer<'a> {
                 self.pos += 1;
             }
             let raw = &self.input[start..self.pos];
-            // Strip apostrophes and lowercase in one pass.
-            let mut text = String::with_capacity(raw.len());
+            // Strip apostrophes and lowercase in one pass. The reserve is
+            // exact for fresh buffers (one allocation per token on the
+            // document-analysis path) and a no-op for warmed ones (the
+            // zero-alloc query path).
+            out.clear();
+            out.reserve(raw.len());
             for &b in raw.as_bytes() {
                 if b != b'\'' {
-                    text.push(b.to_ascii_lowercase() as char);
+                    out.push(b.to_ascii_lowercase() as char);
                 }
             }
-            if text.is_empty() || text.len() > MAX_TOKEN_LEN {
+            if out.is_empty() || out.len() > MAX_TOKEN_LEN {
                 continue; // pure-apostrophe run or noise token: skip it
             }
-            return Some(Token {
-                text,
-                offset: start,
-            });
+            return Some(start);
         }
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        let mut text = String::new();
+        let offset = self.next_into(&mut text)?;
+        Some(Token { text, offset })
     }
 }
 
