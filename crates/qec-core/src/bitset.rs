@@ -7,471 +7,13 @@
 //! query. A fixed-width bitset makes ISKR's inner loop (intersections and
 //! weighted sums over these sets) word-parallel, which is what keeps the
 //! "maintain only affected keywords" optimisation of §3 profitable.
+//!
+//! The implementation lives in the shared foundation crate
+//! [`qec_bitset`] — the same chunked (autovectorizable) kernels back
+//! `qec_index::postings::DocBitmap`, so retrieval and expansion speed up
+//! together. `ResultSet` is the arena-flavoured name this crate has always
+//! exported; see [`qec_bitset::Bitset`] for the full kernel surface
+//! (fused `*_count_into` ops, `rank`/`select`, `heap_bytes`, the
+//! [`qec_bitset::RankIndex`] sidecar).
 
-/// A fixed-universe bitset; all operands of a binary operation must share
-/// the same universe size.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
-pub struct ResultSet {
-    words: Vec<u64>,
-    /// Size of the universe (number of addressable bits).
-    universe: usize,
-}
-
-impl ResultSet {
-    /// The empty set over a universe of `universe` results.
-    pub fn empty(universe: usize) -> Self {
-        Self {
-            words: vec![0; universe.div_ceil(64)],
-            universe,
-        }
-    }
-
-    /// The full set `{0, …, universe-1}`.
-    pub fn full(universe: usize) -> Self {
-        let mut s = Self::empty(universe);
-        for (i, w) in s.words.iter_mut().enumerate() {
-            let remaining = universe - i * 64;
-            *w = if remaining >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << remaining) - 1
-            };
-        }
-        s
-    }
-
-    /// Builds from explicit member indices (must be `< universe`).
-    pub fn from_indices(universe: usize, indices: impl IntoIterator<Item = usize>) -> Self {
-        let mut s = Self::empty(universe);
-        for i in indices {
-            s.insert(i);
-        }
-        s
-    }
-
-    /// Universe size.
-    #[inline]
-    pub fn universe(&self) -> usize {
-        self.universe
-    }
-
-    /// Adds `i` to the set.
-    #[inline]
-    pub fn insert(&mut self, i: usize) {
-        debug_assert!(i < self.universe, "index {i} out of universe {}", self.universe);
-        self.words[i / 64] |= 1u64 << (i % 64);
-    }
-
-    /// Removes `i` from the set.
-    #[inline]
-    pub fn remove(&mut self, i: usize) {
-        debug_assert!(i < self.universe);
-        self.words[i / 64] &= !(1u64 << (i % 64));
-    }
-
-    /// Membership test.
-    #[inline]
-    pub fn contains(&self, i: usize) -> bool {
-        debug_assert!(i < self.universe);
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
-    }
-
-    /// Number of members.
-    pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Whether the set is empty.
-    pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-
-    /// `self ∩ other` as a new set.
-    pub fn and(&self, other: &ResultSet) -> ResultSet {
-        self.check(other);
-        ResultSet {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
-            universe: self.universe,
-        }
-    }
-
-    /// `self ∪ other` as a new set.
-    pub fn or(&self, other: &ResultSet) -> ResultSet {
-        self.check(other);
-        ResultSet {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a | b)
-                .collect(),
-            universe: self.universe,
-        }
-    }
-
-    /// `self \ other` as a new set.
-    pub fn and_not(&self, other: &ResultSet) -> ResultSet {
-        self.check(other);
-        ResultSet {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & !b)
-                .collect(),
-            universe: self.universe,
-        }
-    }
-
-    /// In-place `self ∩= other`.
-    pub fn and_assign(&mut self, other: &ResultSet) {
-        self.check(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
-    }
-
-    /// In-place `self ∪= other`.
-    pub fn or_assign(&mut self, other: &ResultSet) {
-        self.check(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
-    }
-
-    /// In-place `self \= other`.
-    pub fn and_not_assign(&mut self, other: &ResultSet) {
-        self.check(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
-    }
-
-    /// `|self ∩ other|` without allocating.
-    pub fn intersect_count(&self, other: &ResultSet) -> usize {
-        self.check(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
-    }
-
-    /// `|self \ other|` without allocating.
-    pub fn and_not_count(&self, other: &ResultSet) -> usize {
-        self.check(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
-    }
-
-    /// Writes `self ∪ other` into `out` without allocating (`out` must share
-    /// the universe).
-    pub fn union_into(&self, other: &ResultSet, out: &mut ResultSet) {
-        self.check(other);
-        self.check(out);
-        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
-            *o = a | b;
-        }
-    }
-
-    /// Overwrites `self` with `other`'s members without allocating.
-    pub fn copy_from(&mut self, other: &ResultSet) {
-        self.check(other);
-        self.words.copy_from_slice(&other.words);
-    }
-
-    /// Empties the set in place.
-    pub fn clear(&mut self) {
-        self.words.fill(0);
-    }
-
-    /// Fills the set with the whole universe in place (tail bits beyond the
-    /// universe stay zero, preserving the `len`/`iter` invariants).
-    pub fn set_full(&mut self) {
-        let universe = self.universe;
-        for (i, w) in self.words.iter_mut().enumerate() {
-            let remaining = universe - i * 64;
-            *w = if remaining >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << remaining) - 1
-            };
-        }
-    }
-
-    /// Whether `self ∩ other` is non-empty, short-circuiting.
-    pub fn intersects(&self, other: &ResultSet) -> bool {
-        self.check(other);
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
-    }
-
-    /// Whether every member of `self` is in `other`.
-    pub fn is_subset_of(&self, other: &ResultSet) -> bool {
-        self.check(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
-    }
-
-    /// Sum of `weights[i]` over members `i`. `weights.len()` must equal the
-    /// universe size. This is the paper's `S(·)` on a result set.
-    pub fn weighted_sum(&self, weights: &[f64]) -> f64 {
-        debug_assert_eq!(weights.len(), self.universe);
-        let mut acc = 0.0;
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                acc += weights[wi * 64 + bit];
-                w &= w - 1;
-            }
-        }
-        acc
-    }
-
-    /// Sum of `weights[i]` over members of `self ∩ other`, fused to avoid a
-    /// temporary (ISKR's hottest operation: `S(R(q) ∩ C ∩ E(k))`).
-    pub fn weighted_sum_and(&self, other: &ResultSet, weights: &[f64]) -> f64 {
-        self.check(other);
-        debug_assert_eq!(weights.len(), self.universe);
-        let mut acc = 0.0;
-        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
-            let mut w = a & b;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                acc += weights[wi * 64 + bit];
-                w &= w - 1;
-            }
-        }
-        acc
-    }
-
-    /// Sum of `weights[i]` over members of `self ∩ ¬minus ∩ and` — the
-    /// three-operand fusion behind every ISKR move valuation:
-    /// `S(R(q) ∩ E(k) ∩ C)` is `r.weighted_sum_and_not_and(contains, c, w)`,
-    /// with no delta set ever materialised.
-    pub fn weighted_sum_and_not_and(
-        &self,
-        minus: &ResultSet,
-        and: &ResultSet,
-        weights: &[f64],
-    ) -> f64 {
-        self.check(minus);
-        self.check(and);
-        debug_assert_eq!(weights.len(), self.universe);
-        let mut acc = 0.0;
-        for (wi, ((&a, &m), &c)) in self
-            .words
-            .iter()
-            .zip(&minus.words)
-            .zip(&and.words)
-            .enumerate()
-        {
-            let mut w = a & !m & c;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                acc += weights[wi * 64 + bit];
-                w &= w - 1;
-            }
-        }
-        acc
-    }
-
-    /// Iterates over member indices in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: wi * 64 }
-        })
-    }
-
-    /// Members collected into a vector.
-    pub fn to_vec(&self) -> Vec<usize> {
-        self.iter().collect()
-    }
-
-    #[inline]
-    fn check(&self, other: &ResultSet) {
-        assert_eq!(
-            self.universe, other.universe,
-            "bitset universe mismatch: {} vs {}",
-            self.universe, other.universe
-        );
-    }
-}
-
-/// Iterator over the set bits of one word.
-struct BitIter {
-    word: u64,
-    base: usize,
-}
-
-impl Iterator for BitIter {
-    type Item = usize;
-
-    #[inline]
-    fn next(&mut self) -> Option<usize> {
-        if self.word == 0 {
-            return None;
-        }
-        let bit = self.word.trailing_zeros() as usize;
-        self.word &= self.word - 1;
-        Some(self.base + bit)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_and_full() {
-        let e = ResultSet::empty(70);
-        assert_eq!(e.len(), 0);
-        assert!(e.is_empty());
-        let f = ResultSet::full(70);
-        assert_eq!(f.len(), 70);
-        assert!(f.contains(0) && f.contains(69));
-        // No stray bits beyond the universe.
-        assert_eq!(f.iter().max(), Some(69));
-    }
-
-    #[test]
-    fn full_at_word_boundaries() {
-        for n in [0, 1, 63, 64, 65, 127, 128, 129] {
-            let f = ResultSet::full(n);
-            assert_eq!(f.len(), n, "universe {n}");
-            assert_eq!(f.iter().count(), n);
-        }
-    }
-
-    #[test]
-    fn insert_remove_contains() {
-        let mut s = ResultSet::empty(100);
-        s.insert(0);
-        s.insert(64);
-        s.insert(99);
-        assert!(s.contains(0) && s.contains(64) && s.contains(99));
-        assert!(!s.contains(1));
-        s.remove(64);
-        assert!(!s.contains(64));
-        assert_eq!(s.len(), 2);
-    }
-
-    #[test]
-    fn set_algebra() {
-        let a = ResultSet::from_indices(10, [1, 2, 3, 7]);
-        let b = ResultSet::from_indices(10, [2, 3, 4]);
-        assert_eq!(a.and(&b).to_vec(), vec![2, 3]);
-        assert_eq!(a.or(&b).to_vec(), vec![1, 2, 3, 4, 7]);
-        assert_eq!(a.and_not(&b).to_vec(), vec![1, 7]);
-        assert_eq!(a.intersect_count(&b), 2);
-        assert!(a.intersects(&b));
-    }
-
-    #[test]
-    fn in_place_variants_match_pure_ones() {
-        let a = ResultSet::from_indices(130, [0, 64, 128, 129]);
-        let b = ResultSet::from_indices(130, [64, 100, 129]);
-        let mut x = a.clone();
-        x.and_assign(&b);
-        assert_eq!(x, a.and(&b));
-        let mut y = a.clone();
-        y.or_assign(&b);
-        assert_eq!(y, a.or(&b));
-        let mut z = a.clone();
-        z.and_not_assign(&b);
-        assert_eq!(z, a.and_not(&b));
-    }
-
-    #[test]
-    fn subset_relation() {
-        let a = ResultSet::from_indices(10, [1, 2]);
-        let b = ResultSet::from_indices(10, [1, 2, 3]);
-        assert!(a.is_subset_of(&b));
-        assert!(!b.is_subset_of(&a));
-        assert!(ResultSet::empty(10).is_subset_of(&a));
-        assert!(a.is_subset_of(&a));
-    }
-
-    #[test]
-    fn weighted_sum_matches_naive() {
-        let weights: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
-        let s = ResultSet::from_indices(100, [0, 10, 63, 64, 99]);
-        let naive: f64 = s.iter().map(|i| weights[i]).sum();
-        assert!((s.weighted_sum(&weights) - naive).abs() < 1e-12);
-    }
-
-    #[test]
-    fn weighted_sum_and_fused() {
-        let weights: Vec<f64> = (0..70).map(|i| (i + 1) as f64).collect();
-        let a = ResultSet::from_indices(70, [0, 5, 65]);
-        let b = ResultSet::from_indices(70, [5, 65, 69]);
-        let fused = a.weighted_sum_and(&b, &weights);
-        let unfused = a.and(&b).weighted_sum(&weights);
-        assert!((fused - unfused).abs() < 1e-12);
-        assert!((fused - (6.0 + 66.0)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn counting_ops_match_materialised_sets() {
-        let a = ResultSet::from_indices(130, [0, 5, 64, 100, 129]);
-        let b = ResultSet::from_indices(130, [5, 64, 128]);
-        assert_eq!(a.intersect_count(&b), a.and(&b).len());
-        assert_eq!(a.and_not_count(&b), a.and_not(&b).len());
-        let mut out = ResultSet::empty(130);
-        a.union_into(&b, &mut out);
-        assert_eq!(out, a.or(&b));
-    }
-
-    #[test]
-    fn copy_clear_set_full_in_place() {
-        let a = ResultSet::from_indices(70, [1, 69]);
-        let mut s = ResultSet::empty(70);
-        s.copy_from(&a);
-        assert_eq!(s, a);
-        s.set_full();
-        assert_eq!(s, ResultSet::full(70));
-        assert_eq!(s.iter().max(), Some(69), "no tail bits past the universe");
-        s.clear();
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    fn three_operand_fusion_matches_unfused() {
-        let weights: Vec<f64> = (0..200).map(|i| (i % 13) as f64 + 0.25).collect();
-        let a = ResultSet::from_indices(200, (0..200).step_by(3));
-        let m = ResultSet::from_indices(200, (0..200).step_by(5));
-        let c = ResultSet::from_indices(200, (0..200).step_by(2));
-        let fused = a.weighted_sum_and_not_and(&m, &c, &weights);
-        let unfused = a.and_not(&m).and(&c).weighted_sum(&weights);
-        assert!((fused - unfused).abs() < 1e-12);
-    }
-
-    #[test]
-    fn iter_is_ascending() {
-        let s = ResultSet::from_indices(200, [150, 3, 64, 199, 0]);
-        assert_eq!(s.to_vec(), vec![0, 3, 64, 150, 199]);
-    }
-
-    #[test]
-    #[should_panic(expected = "universe mismatch")]
-    fn mismatched_universes_panic() {
-        let a = ResultSet::empty(10);
-        let b = ResultSet::empty(11);
-        let _ = a.and(&b);
-    }
-
-    #[test]
-    fn zero_universe() {
-        let s = ResultSet::empty(0);
-        assert_eq!(s.len(), 0);
-        assert_eq!(ResultSet::full(0).len(), 0);
-        assert_eq!(s.weighted_sum(&[]), 0.0);
-    }
-}
+pub use qec_bitset::Bitset as ResultSet;

@@ -11,15 +11,17 @@
 //!   valuation, no maintenance, no removals. Cheapest; lowest quality.
 //!   Also allocation-free on a warmed scratch.
 //! * [`ExactDeltaF`] — greedy refinement by exact ΔF-measure (§5's
-//!   "F-measure" baseline). Highest quality; 1–2 orders slower, and it
-//!   allocates internally (it is a baseline, not a serving path).
+//!   "F-measure" baseline). Highest quality; 1–2 orders slower because it
+//!   revalues every candidate every iteration. Like the others it runs on
+//!   the caller's scratch and is allocation-free once warmed — the cost
+//!   gap the benches measure is algorithmic, not allocator noise.
 //!
 //! Every implementation writes its result into a caller-owned
 //! [`ExpandedQuery`] and uses a caller-owned [`IskrScratch`] for working
 //! state, so a serving loop that reuses both stays on the zero-allocation
 //! discipline of the underlying kernels.
 
-use crate::fmeasure::{fmeasure_refine, FMeasureConfig};
+use crate::fmeasure::{fmeasure_refine_into, FMeasureConfig};
 use crate::iskr::{iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
 use crate::pebc::{pebc_into, PebcConfig};
 use crate::problem::QecInstance;
@@ -89,13 +91,9 @@ impl Expander for ExactDeltaF {
         scratch: &mut IskrScratch,
         out: &mut ExpandedQuery,
     ) {
-        // The baseline has no scratch-based variant (see ROADMAP); it
-        // allocates internally and the scratch goes unused.
-        let _ = scratch;
-        let expanded = fmeasure_refine(inst, &self.0);
-        out.quality = expanded.quality;
+        out.quality = fmeasure_refine_into(inst, &self.0, scratch);
         out.added.clear();
-        out.added.extend_from_slice(&expanded.added);
+        out.added.extend_from_slice(scratch.added());
     }
 }
 

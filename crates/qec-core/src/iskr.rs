@@ -109,13 +109,13 @@ impl MoveValue {
 #[derive(Debug, Default)]
 pub struct IskrScratch {
     pub(crate) values: Vec<MoveValue>,
-    in_query: Vec<bool>,
+    pub(crate) in_query: Vec<bool>,
     affected: Vec<bool>,
     pub(crate) query: Vec<CandId>,
     /// `R(q)` for the current query.
     pub(crate) r: ResultSet,
     /// `R(q \ k)` workspace for removal valuations.
-    r_without: ResultSet,
+    pub(crate) r_without: ResultSet,
     /// Delta results of the last applied move.
     delta: ResultSet,
     /// Candidate ordering buffer (PEBC's one-shot static ranking).
@@ -222,31 +222,34 @@ pub fn iskr_into(
         let Some((best_idx, _)) = best else { break };
         let k = CandId(best_idx as u32);
 
-        // Apply the move and compute its delta results into `delta`.
-        if in_query[best_idx] {
+        // Apply the move and compute its delta results into `delta`; the
+        // fused `and_not_count_into` kernel yields the delta set and its
+        // cardinality (needed by the maintenance cost model below) in one
+        // pass instead of copy + subtract + recount.
+        let delta_len = if in_query[best_idx] {
             // Remove k: results gained back. R(q \ k) re-derives from the
             // remaining keywords' containment sets.
             results_without(inst, query, Some(k), r_without);
-            delta.copy_from(r_without);
-            delta.and_not_assign(r);
+            let delta_len = r_without.and_not_count_into(r, delta);
             std::mem::swap(r, r_without);
             query.retain(|&c| c != k);
             in_query[best_idx] = false;
+            delta_len
         } else {
             // Add k: results eliminated.
             let contains = &arena.candidate(k).contains;
-            delta.copy_from(r);
-            delta.and_not_assign(contains);
+            let delta_len = r.and_not_count_into(contains, delta);
             r.and_assign(contains);
             query.push(k);
             in_query[best_idx] = true;
-            if delta.is_empty() {
+            if delta_len == 0 {
                 // The keyword changed nothing (can only happen with a stale
                 // value); fix its value and continue.
                 values[best_idx] = MoveValue::from_benefit_cost(0.0, 0.0);
                 continue;
             }
-        }
+            delta_len
+        };
 
         // Maintenance (§3): an *add* value can only change if the keyword
         // eliminates at least one delta result; the arena's inverted
@@ -263,7 +266,7 @@ pub fn iskr_into(
             // (delta-result, eliminating-candidate) pair; the direct test
             // costs one early-exit word-parallel subset check per
             // candidate. Small deltas favour the map, big deltas the scan.
-            let map_cost = delta.len() * arena.avg_eliminators();
+            let map_cost = delta_len * arena.avg_eliminators();
             let scan_cost = n_cands * arena.size().div_ceil(64);
             if map_cost <= scan_cost {
                 for d in delta.iter() {
@@ -297,7 +300,7 @@ pub fn iskr_into(
 }
 
 /// Writes `R(uq ∪ query \ skip)` into `out` without allocating.
-fn results_without(
+pub(crate) fn results_without(
     inst: &QecInstance<'_>,
     query: &[CandId],
     skip: Option<CandId>,

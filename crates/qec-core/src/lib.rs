@@ -3,8 +3,9 @@
 //! Built on the retrieval substrate of `qec-index`, this crate contains
 //! everything downstream of "the user query has been run and clustered":
 //!
-//! * [`bitset`] — dense fixed-universe bitsets over the result arena, with
-//!   the fused counting kernels ISKR's inner loop runs on.
+//! * [`bitset`] — dense fixed-universe bitsets over the result arena
+//!   (re-exported from the shared `qec-bitset` foundation crate), with the
+//!   fused counting kernels ISKR's inner loop runs on.
 //! * [`metrics`] — weighted precision/recall/F-measure and the overall
 //!   harmonic-mean score (§2, Eq. 1).
 //! * [`problem`] — the [`ExpansionArena`] / [`QecInstance`] problem model
@@ -31,8 +32,11 @@ pub mod pebc;
 pub mod problem;
 
 pub use bitset::ResultSet;
+// The shared kernel crate's own names, for callers that want the
+// positional-query sidecar or to name the type universe-neutrally.
+pub use qec_bitset::{Bitset, RankIndex};
 pub use expander::{ExactDeltaF, Expander, Iskr, Pebc};
-pub use fmeasure::{fmeasure_refine, FMeasureConfig};
+pub use fmeasure::{fmeasure_refine, fmeasure_refine_into, FMeasureConfig};
 pub use iskr::{iskr, iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
 pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
 pub use parallel::{

@@ -223,6 +223,28 @@ impl ExpansionArena {
         }
     }
 
+    /// Heap footprint of the arena in bytes: result list, weights,
+    /// candidate containment bitsets and the inverted eliminator map. This
+    /// is the dominant share of a cached pipeline's memory, which the
+    /// byte-budget cache eviction weighs entries by.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let candidates: usize = self
+            .candidates
+            .iter()
+            .map(|c| size_of::<Candidate>() + c.contains.heap_bytes())
+            .sum();
+        let eliminators: usize = self
+            .eliminators
+            .iter()
+            .map(|v| size_of::<Vec<CandId>>() + v.capacity() * size_of::<CandId>())
+            .sum();
+        self.docs.capacity() * size_of::<DocId>()
+            + self.weights.capacity() * size_of::<f64>()
+            + candidates
+            + eliminators
+    }
+
     /// `R(uq ∪ added)`: results containing every added keyword. The
     /// original query matches the whole arena by construction, so with no
     /// additions this is the full set.

@@ -10,7 +10,10 @@
 //! contaminate it. (`qec-engine` carries the sibling proof for a warmed
 //! `engine.expand` serving loop.)
 
-use qec_core::{iskr_into, Candidate, ExpansionArena, IskrConfig, IskrScratch, QecInstance, ResultSet};
+use qec_core::{
+    fmeasure_refine_into, iskr_into, Candidate, ExpansionArena, FMeasureConfig, IskrConfig,
+    IskrScratch, QecInstance, ResultSet,
+};
 use qec_index::{Corpus, CorpusBuilder, DocumentSpec, SearchScratch, Searcher};
 use qec_text::TermId;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -114,6 +117,27 @@ fn warmed_iskr_and_search_perform_zero_heap_allocations() {
     assert_eq!(
         counted, 0,
         "iskr_into allocated on a warmed scratch: {counted} heap allocations counted"
+    );
+
+    // Exact-ΔF: since its scratch rewrite the baseline is allocation-free
+    // too — add moves are valued through the fused three-way weighted
+    // kernels, removals through the scratch's one reusable buffer — so the
+    // ISKR-vs-exact gap the benches measure is algorithmic cost, not
+    // allocator noise.
+    let exact_config = FMeasureConfig::default();
+    let warm_exact = fmeasure_refine_into(&inst, &exact_config, &mut scratch);
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        let q = fmeasure_refine_into(&inst, &exact_config, &mut scratch);
+        assert!(q == warm_exact, "warmed exact-ΔF stays deterministic");
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        counted, 0,
+        "fmeasure_refine_into allocated on a warmed scratch: {counted} heap \
+         allocations counted"
     );
 
     // Retrieval: AND and OR, over every posting-representation mix — the

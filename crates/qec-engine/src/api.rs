@@ -23,7 +23,8 @@ pub enum ExpandStrategy {
     #[default]
     Iskr,
     /// Exact-ΔF greedy refinement (§5's "F-measure" baseline). Highest
-    /// quality, 1–2 orders slower; allocates internally.
+    /// quality, 1–2 orders slower (full revaluation per iteration);
+    /// allocation-free when warmed, like the others.
     ExactDeltaF,
     /// The partial-elimination baseline: one-shot static valuation with no
     /// maintenance and no removals. Cheapest, lowest quality;

@@ -23,14 +23,39 @@
 //! until that last holder drops — eviction only severs the cache's
 //! reference.
 //!
+//! Single-flight builds
+//! --------------------
+//! A cold-start stampede on one hot key used to make every racing session
+//! build the (deterministic, identical) pipeline. The cache now keeps a
+//! per-key **in-progress latch**: the first miss returns a
+//! [`BuildTicket`] and registers the key as building; every other session
+//! probing the same key blocks on the latch until the builder
+//! [`publish`](BuildTicket::publish)es, then resolves as a hit on the
+//! freshly inserted `Arc`. Exactly one build runs per key per cold start
+//! (`misses == 1` however many sessions race — asserted by the stampede
+//! test). A builder that dies without publishing abandons the latch and
+//! wakes the waiters; the next one becomes the builder.
+//!
+//! Eviction bounds
+//! ---------------
+//! Two limits, evicting from the LRU tail when **either** trips: an entry
+//! count (`capacity`) and an optional byte budget (`max_bytes`, `0` =
+//! unbounded) weighing each entry by its pipeline's heap footprint
+//! ([`CachedPipeline::heap_bytes`]: arena + per-cluster bitsets + member
+//! lists). The byte budget is what keeps memory bounded under mixed
+//! `top_k` workloads, where a top-500 entry costs ~100× a top-30 one and
+//! an entry count alone says nothing about bytes. Occupancy is surfaced
+//! as [`CacheStats::bytes_in_use`].
+//!
 //! Allocation discipline
 //! ---------------------
 //! A **probe hit is allocation-free**: hashing the borrowed key, the bucket
 //! lookup, the recency-list relink and the `Arc` clone all stay off the
 //! heap. The **miss path is allowed to allocate** exactly: the owned copy
-//! of the key, the new entry (slab slot + bucket vector growth), and the
-//! `CachedPipeline` itself — which the engine builds outside the cache
-//! lock. Eviction frees memory but allocates nothing.
+//! of the key, the in-progress latch, the new entry (slab slot + bucket
+//! vector growth), and the `CachedPipeline` itself — which the engine
+//! builds outside the cache lock. Eviction frees memory but allocates
+//! nothing.
 //!
 //! Structure: a slab of entries carrying an intrusive doubly-linked
 //! recency list (MRU at head), plus hash buckets (`FxHashMap<u64,
@@ -38,7 +63,7 @@
 //! operation is O(1) amortised in the entry count.
 
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use qec_core::{ExpansionArena, ResultSet};
 use qec_index::{DocId, QuerySemantics};
@@ -65,6 +90,25 @@ pub struct CachedPipeline {
     pub arena: ExpansionArena,
     /// Per-cluster `(C, U)` pairs and member lists.
     pub clusters: Vec<CachedCluster>,
+}
+
+impl CachedPipeline {
+    /// Heap footprint of the cached state in bytes — the weight the
+    /// byte-budget eviction bound charges this entry.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.arena.heap_bytes()
+            + self
+                .clusters
+                .iter()
+                .map(|c| {
+                    size_of::<CachedCluster>()
+                        + c.docs.capacity() * size_of::<DocId>()
+                        + c.cluster.heap_bytes()
+                        + c.universe.heap_bytes()
+                })
+                .sum::<usize>()
+    }
 }
 
 /// A borrowed cache key, for probing and inserting without building an
@@ -135,6 +179,10 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum entries before LRU eviction.
     pub capacity: usize,
+    /// Total heap footprint of the live entries' pipelines.
+    pub bytes_in_use: usize,
+    /// Byte budget before LRU eviction (`0` = unbounded).
+    pub max_bytes: usize,
 }
 
 impl CacheStats {
@@ -157,10 +205,70 @@ struct Entry {
     hash: u64,
     key: OwnedKey,
     value: Arc<CachedPipeline>,
+    /// The pipeline's heap footprint, charged against the byte budget.
+    bytes: usize,
     /// Towards the MRU end.
     prev: usize,
     /// Towards the LRU end.
     next: usize,
+}
+
+/// How far a single-flight build has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BuildState {
+    /// The ticket holder is still building.
+    Building,
+    /// The build was published and retained; waiters re-probe and hit.
+    Done,
+    /// The ticket was dropped without publishing (builder panicked or
+    /// bailed); waiters re-probe and the first becomes the new builder.
+    Abandoned,
+    /// The build was published but the cache could not retain it (entry
+    /// bigger than the byte budget, or zero capacity). Waiters each build
+    /// for themselves — without registering — so a never-cacheable hot
+    /// key runs its builds in parallel instead of convoying behind one
+    /// latch after another.
+    Uncacheable,
+}
+
+/// The per-key in-progress latch waiters block on.
+#[derive(Debug)]
+struct BuildLatch {
+    state: Mutex<BuildState>,
+    cv: Condvar,
+}
+
+impl BuildLatch {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(BuildState::Building),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Resolves the latch and wakes every waiter.
+    fn complete(&self, state: BuildState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the builder publishes or abandons; returns the final
+    /// state.
+    fn wait(&self) -> BuildState {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while *st == BuildState::Building {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        *st
+    }
+}
+
+/// One registered in-flight build.
+#[derive(Debug)]
+struct Building {
+    hash: u64,
+    key: OwnedKey,
+    latch: Arc<BuildLatch>,
 }
 
 #[derive(Debug, Default)]
@@ -168,9 +276,13 @@ struct Lru {
     slots: Vec<Option<Entry>>,
     free: Vec<usize>,
     buckets: FxHashMap<u64, Vec<usize>>,
+    /// Keys with a build in flight (single-flight registry; a handful at
+    /// most, so a linear scan beats bucket bookkeeping).
+    building: Vec<Building>,
     head: usize,
     tail: usize,
     len: usize,
+    bytes_in_use: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -181,15 +293,26 @@ struct Lru {
 #[derive(Debug)]
 pub struct SharedArenaCache {
     capacity: usize,
+    /// Byte budget over all entries' pipeline footprints; `0` = unbounded.
+    max_bytes: usize,
     inner: Mutex<Lru>,
 }
 
 impl SharedArenaCache {
     /// An empty cache holding at most `capacity` pipelines (`0` never
-    /// stores anything; every probe is then a counted miss).
+    /// stores anything; every probe is then a counted miss), with no byte
+    /// budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, 0)
+    }
+
+    /// An empty cache bounded by `capacity` entries **and** `max_bytes` of
+    /// pipeline heap footprint (`0` = no byte bound). Eviction runs from
+    /// the LRU tail whenever either bound trips.
+    pub fn with_budget(capacity: usize, max_bytes: usize) -> Self {
         Self {
             capacity,
+            max_bytes,
             inner: Mutex::new(Lru {
                 head: NIL,
                 tail: NIL,
@@ -203,6 +326,11 @@ impl SharedArenaCache {
         self.capacity
     }
 
+    /// Byte budget over cached pipelines (`0` = unbounded).
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
     /// Probes for `key`, refreshing its recency and counting a hit or miss.
     /// Allocation-free on both outcomes.
     pub fn get(&self, key: KeyRef<'_>) -> Option<Arc<CachedPipeline>> {
@@ -210,8 +338,10 @@ impl SharedArenaCache {
     }
 
     /// [`get`](Self::get) plus a post-probe stats snapshot under the one
-    /// lock acquisition — the serving hot path, which wants both without
-    /// touching the engine-wide mutex twice per request.
+    /// lock acquisition. (The serving hot path goes through
+    /// [`get_or_build_with_stats`](Self::get_or_build_with_stats) instead,
+    /// which adds the single-flight contract on misses; this probe-only
+    /// variant never blocks and never hands out a build ticket.)
     pub fn get_with_stats(&self, key: KeyRef<'_>) -> (Option<Arc<CachedPipeline>>, CacheStats) {
         let hash = key.hash64();
         let mut g = self.lock();
@@ -238,44 +368,139 @@ impl SharedArenaCache {
         find(&g, hash, key).map(|i| Arc::clone(&g.slots[i].as_ref().expect("live slot").value))
     }
 
-    /// Publishes `value` under `key`, evicting the least-recently-used
-    /// entry when full, and returns a post-insert stats snapshot under the
-    /// one lock acquisition. Re-inserting an existing key replaces its
-    /// value and refreshes its recency (concurrent misses on one key race
-    /// benignly: pipelines are deterministic, so whichever build lands
-    /// last is identical to the first).
+    /// Probes for `key` with the single-flight contract: a cached entry is
+    /// a [`CacheProbe::Hit`]; a cold key with **no build in flight**
+    /// counts one miss, registers the key as building, and hands this
+    /// caller the [`BuildTicket`] (build the pipeline, then
+    /// [`publish`](BuildTicket::publish)); a cold key **with** a build in
+    /// flight blocks on the builder's latch — off the cache lock — and
+    /// resolves as a hit on the published entry, so a cold-start stampede
+    /// on one hot key runs exactly one build.
+    pub fn get_or_build_with_stats(&self, key: KeyRef<'_>) -> (CacheProbe<'_>, CacheStats) {
+        let hash = key.hash64();
+        loop {
+            let in_flight = {
+                let mut g = self.lock();
+                if let Some(i) = find(&g, hash, key) {
+                    g.hits += 1;
+                    touch(&mut g, i);
+                    let value = Arc::clone(&g.slots[i].as_ref().expect("live slot").value);
+                    let stats = self.snapshot(&g);
+                    return (CacheProbe::Hit(value), stats);
+                }
+                match g.building.iter().find(|b| b.hash == hash && key.matches(&b.key)) {
+                    Some(b) => Arc::clone(&b.latch),
+                    None => {
+                        g.misses += 1;
+                        let latch = Arc::new(BuildLatch::new());
+                        g.building.push(Building {
+                            hash,
+                            key: key.to_owned_key(),
+                            latch: Arc::clone(&latch),
+                        });
+                        let stats = self.snapshot(&g);
+                        let ticket = BuildTicket {
+                            cache: self,
+                            latch,
+                            published: false,
+                        };
+                        return (CacheProbe::Miss(ticket), stats);
+                    }
+                }
+            };
+            // Someone else is building this key: wait outside the cache
+            // lock. Done → re-probe and hit the published entry;
+            // Abandoned (or published-then-evicted) → re-probe and become
+            // the next builder. Uncacheable (the cache cannot retain this
+            // key) → build for ourselves, unregistered, so every released
+            // waiter builds in parallel instead of convoying one latch at
+            // a time.
+            if in_flight.wait() == BuildState::Uncacheable {
+                let mut g = self.lock();
+                if let Some(i) = find(&g, hash, key) {
+                    // Someone cached it after all (e.g. budget freed up).
+                    g.hits += 1;
+                    touch(&mut g, i);
+                    let value = Arc::clone(&g.slots[i].as_ref().expect("live slot").value);
+                    let stats = self.snapshot(&g);
+                    return (CacheProbe::Hit(value), stats);
+                }
+                g.misses += 1;
+                let stats = self.snapshot(&g);
+                let ticket = BuildTicket {
+                    cache: self,
+                    // Orphan latch, never registered: publish/drop resolve
+                    // it without waking (or blocking) anyone.
+                    latch: Arc::new(BuildLatch::new()),
+                    published: false,
+                };
+                return (CacheProbe::Miss(ticket), stats);
+            }
+        }
+    }
+
+    /// Publishes `value` under `key`, evicting from the LRU tail while the
+    /// entry count exceeds `capacity` or the byte budget is exceeded, and
+    /// returns a post-insert stats snapshot under the one lock
+    /// acquisition. Re-inserting an existing key replaces its value and
+    /// refreshes its recency. (Single-flight builders publish through
+    /// [`BuildTicket::publish`] instead, which also resolves their latch.)
     pub fn insert(&self, key: KeyRef<'_>, value: Arc<CachedPipeline>) -> CacheStats {
+        let bytes = value.heap_bytes();
         let hash = key.hash64();
         let mut g = self.lock();
-        if self.capacity == 0 {
-            return self.snapshot(&g);
-        }
-        if let Some(i) = find(&g, hash, key) {
-            g.slots[i].as_mut().expect("live slot").value = value;
-            touch(&mut g, i);
-            return self.snapshot(&g);
-        }
-        if g.len == self.capacity {
-            evict_tail(&mut g);
-        }
-        let slot = match g.free.pop() {
-            Some(s) => s,
-            None => {
-                g.slots.push(None);
-                g.slots.len() - 1
-            }
-        };
-        g.slots[slot] = Some(Entry {
-            hash,
-            key: key.to_owned_key(),
-            value,
-            prev: NIL,
-            next: NIL,
-        });
-        g.buckets.entry(hash).or_default().push(slot);
-        link_front(&mut g, slot);
-        g.len += 1;
+        self.insert_locked(&mut g, hash, key, value, bytes);
         self.snapshot(&g)
+    }
+
+    fn insert_locked(
+        &self,
+        g: &mut Lru,
+        hash: u64,
+        key: KeyRef<'_>,
+        value: Arc<CachedPipeline>,
+        bytes: usize,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(i) = find(g, hash, key) {
+            let e = g.slots[i].as_mut().expect("live slot");
+            let old_bytes = e.bytes;
+            e.value = value;
+            e.bytes = bytes;
+            g.bytes_in_use = g.bytes_in_use + bytes - old_bytes;
+            touch(g, i);
+        } else {
+            let slot = match g.free.pop() {
+                Some(s) => s,
+                None => {
+                    g.slots.push(None);
+                    g.slots.len() - 1
+                }
+            };
+            g.slots[slot] = Some(Entry {
+                hash,
+                key: key.to_owned_key(),
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            });
+            g.buckets.entry(hash).or_default().push(slot);
+            link_front(g, slot);
+            g.len += 1;
+            g.bytes_in_use += bytes;
+        }
+        // Evict by whichever bound trips: entry count, or — when a byte
+        // budget is set — total pipeline footprint. The byte bound is
+        // strict: an entry bigger than the whole budget is evicted
+        // immediately (memory stays bounded; that key just never caches).
+        while g.len > self.capacity
+            || (self.max_bytes > 0 && g.bytes_in_use > self.max_bytes && g.len > 0)
+        {
+            evict_tail(g);
+        }
     }
 
     /// Cumulative counters and occupancy.
@@ -291,6 +516,8 @@ impl SharedArenaCache {
             evictions: g.evictions,
             entries: g.len,
             capacity: self.capacity,
+            bytes_in_use: g.bytes_in_use,
+            max_bytes: self.max_bytes,
         }
     }
 
@@ -373,9 +600,81 @@ fn evict_tail(g: &mut Lru) {
     }
     g.free.push(i);
     g.len -= 1;
+    g.bytes_in_use -= e.bytes;
     g.evictions += 1;
     // `e` drops here: the Arc releases the cache's reference; any request
     // still holding a clone keeps the pipeline alive.
+}
+
+/// Drops the single-flight registration whose latch is `latch` (matched by
+/// pointer identity — keys can be re-registered while an abandoned build's
+/// ticket is still alive).
+fn remove_building(g: &mut Lru, latch: &Arc<BuildLatch>) {
+    g.building.retain(|b| !Arc::ptr_eq(&b.latch, latch));
+}
+
+/// Outcome of a single-flight probe
+/// ([`SharedArenaCache::get_or_build_with_stats`]).
+#[derive(Debug)]
+pub enum CacheProbe<'c> {
+    /// The pipeline was cached (or a concurrent builder published it while
+    /// this caller waited on the latch).
+    Hit(Arc<CachedPipeline>),
+    /// This caller owns the build for the key: build the pipeline, then
+    /// [`publish`](BuildTicket::publish) through the ticket.
+    Miss(BuildTicket<'c>),
+}
+
+/// Exclusive permission to build one key's pipeline, handed to exactly one
+/// caller per cold key. [`publish`](Self::publish) inserts the built
+/// pipeline and releases every waiter onto it; dropping the ticket without
+/// publishing (builder panicked or bailed) wakes the waiters so the next
+/// one takes over the build.
+#[derive(Debug)]
+pub struct BuildTicket<'c> {
+    cache: &'c SharedArenaCache,
+    latch: Arc<BuildLatch>,
+    published: bool,
+}
+
+impl BuildTicket<'_> {
+    /// Publishes the built pipeline under `key` (which must be the key the
+    /// ticket was issued for), deregisters the in-flight build, wakes the
+    /// waiters, and returns a post-insert stats snapshot. When the cache
+    /// could not retain the entry (bigger than the byte budget, or zero
+    /// capacity), waiters are released to build for themselves in
+    /// parallel rather than re-serializing behind each other's latches.
+    pub fn publish(mut self, key: KeyRef<'_>, value: Arc<CachedPipeline>) -> CacheStats {
+        let bytes = value.heap_bytes();
+        let hash = key.hash64();
+        let (stats, retained) = {
+            let mut g = self.cache.lock();
+            remove_building(&mut g, &self.latch);
+            self.cache.insert_locked(&mut g, hash, key, value, bytes);
+            let retained = find(&g, hash, key).is_some();
+            (self.cache.snapshot(&g), retained)
+        };
+        self.published = true;
+        self.latch.complete(if retained {
+            BuildState::Done
+        } else {
+            BuildState::Uncacheable
+        });
+        stats
+    }
+}
+
+impl Drop for BuildTicket<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        {
+            let mut g = self.cache.lock();
+            remove_building(&mut g, &self.latch);
+        }
+        self.latch.complete(BuildState::Abandoned);
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +829,164 @@ mod tests {
         assert!(cache.get(keyed(&t)).is_none());
         let s = cache.stats();
         assert_eq!((s.entries, s.misses, s.evictions), (0, 1, 0));
+    }
+
+    #[test]
+    fn single_flight_stampede_builds_once() {
+        let cache = SharedArenaCache::new(8);
+        let t = terms(&[1]);
+        const N: usize = 6;
+        let barrier = std::sync::Barrier::new(N);
+        let builders = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..N {
+                scope.spawn(|| {
+                    barrier.wait();
+                    match cache.get_or_build_with_stats(keyed(&t)).0 {
+                        CacheProbe::Miss(ticket) => {
+                            builders.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            // Hold the ticket long enough that the other
+                            // racers reach the latch, then publish.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            ticket.publish(keyed(&t), pipe(7));
+                        }
+                        CacheProbe::Hit(p) => {
+                            assert_eq!(tag_of(&p), 7, "waiters see the published build")
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(builders.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "one build per hot key");
+        assert_eq!(s.hits, N as u64 - 1, "every racer but the builder hits");
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn abandoned_ticket_passes_the_build_to_the_next_prober() {
+        let cache = SharedArenaCache::new(8);
+        let t = terms(&[1]);
+        let (probe, _) = cache.get_or_build_with_stats(keyed(&t));
+        let CacheProbe::Miss(ticket) = probe else {
+            panic!("cold key must hand out the build")
+        };
+        drop(ticket); // builder bails (e.g. panicked) without publishing
+        let (probe2, stats) = cache.get_or_build_with_stats(keyed(&t));
+        assert!(
+            matches!(probe2, CacheProbe::Miss(_)),
+            "the next prober takes over the build"
+        );
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0, "nothing was published");
+    }
+
+    #[test]
+    fn waiter_takes_over_after_abandoned_build() {
+        let cache = &SharedArenaCache::new(8);
+        let t = terms(&[1]);
+        let t = &t;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let (probe, _) = cache.get_or_build_with_stats(keyed(t));
+                assert!(matches!(&probe, CacheProbe::Miss(_)), "first prober builds");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(probe); // unpublished → waiters wake on Abandoned
+            });
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                match cache.get_or_build_with_stats(keyed(t)).0 {
+                    CacheProbe::Miss(ticket) => {
+                        ticket.publish(keyed(t), pipe(3));
+                    }
+                    CacheProbe::Hit(_) => panic!("abandoned build cannot produce a hit"),
+                }
+            });
+        });
+        assert_eq!(tag_of(&cache.peek(keyed(t)).expect("published")), 3);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn uncacheable_key_releases_waiters_to_build_in_parallel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Budget smaller than any entry: the key can never be retained.
+        let cache = SharedArenaCache::with_budget(8, 1);
+        let t = terms(&[1]);
+        let (cache, t) = (&cache, &t);
+        const N: usize = 3;
+        let barrier = std::sync::Barrier::new(N);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let (barrier, concurrent, peak) = (&barrier, &concurrent, &peak);
+        std::thread::scope(|scope| {
+            for _ in 0..N {
+                scope.spawn(move || {
+                    barrier.wait();
+                    match cache.get_or_build_with_stats(keyed(t)).0 {
+                        CacheProbe::Miss(ticket) => {
+                            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            ticket.publish(keyed(t), pipe(63));
+                            concurrent.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        CacheProbe::Hit(_) => panic!("budget 1 byte can never hit"),
+                    }
+                });
+            }
+        });
+        // The first publish resolves Uncacheable and must release both
+        // waiters at once: their (sleep-padded) builds overlap. A convoy —
+        // waiters re-registering one behind another — would cap the
+        // concurrency at 1.
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "released waiters must build in parallel, peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+        let s = cache.stats();
+        assert_eq!(s.misses, N as u64, "every thread built for itself");
+        assert_eq!(s.entries, 0, "nothing retained");
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_footprint() {
+        let unit = pipe(63).heap_bytes();
+        assert!(unit > 0);
+        // Room for two unit-sized entries but not three; generous entry
+        // count so only the byte bound can trip.
+        let cache = SharedArenaCache::with_budget(100, unit * 2 + unit / 2);
+        for i in 0..3u32 {
+            let t = terms(&[i]);
+            cache.insert(keyed(&t), pipe(63));
+            let s = cache.stats();
+            assert!(s.bytes_in_use <= s.max_bytes, "bounded after every insert");
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.bytes_in_use, unit * 2);
+        assert!(cache.peek(keyed(&terms(&[0]))).is_none(), "LRU went first");
+        assert!(cache.peek(keyed(&terms(&[2]))).is_some());
+
+        // Replacing a key re-weighs it.
+        let small = pipe(7).heap_bytes();
+        cache.insert(keyed(&terms(&[2])), pipe(7));
+        assert_eq!(cache.stats().bytes_in_use, unit + small);
+
+        // An entry bigger than the whole budget never sticks: the bound is
+        // strict, that key just never caches.
+        let big = pipe(2047);
+        assert!(big.heap_bytes() > cache.max_bytes());
+        cache.insert(keyed(&terms(&[9])), big);
+        let s = cache.stats();
+        assert!(s.bytes_in_use <= s.max_bytes);
+        assert!(
+            cache.peek(keyed(&terms(&[9]))).is_none(),
+            "oversized entry evicted immediately"
+        );
     }
 
     #[test]

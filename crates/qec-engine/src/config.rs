@@ -20,6 +20,12 @@ pub struct CacheConfig {
     /// Maximum cached pipelines before LRU eviction (`0` behaves like
     /// `enabled: false` but is still constructed, so stats read as empty).
     pub capacity: usize,
+    /// Byte budget over all cached pipelines' heap footprints
+    /// (`CachedPipeline::heap_bytes`): eviction runs from the LRU tail
+    /// when **either** this or `capacity` trips. `0` disables the byte
+    /// bound. This is what keeps memory bounded under mixed `top_k`
+    /// workloads, where a top-500 entry weighs ~100× a top-30 one.
+    pub max_bytes: usize,
 }
 
 impl Default for CacheConfig {
@@ -27,6 +33,7 @@ impl Default for CacheConfig {
         Self {
             enabled: true,
             capacity: 128,
+            max_bytes: 0,
         }
     }
 }

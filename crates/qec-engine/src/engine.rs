@@ -40,7 +40,7 @@ use qec_index::{
 use qec_text::TermId;
 
 use crate::api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
-use crate::cache::{CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache};
+use crate::cache::{CacheProbe, CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache};
 use crate::config::EngineConfig;
 
 /// Reusable per-request working state; pooled by the engine. Everything
@@ -153,29 +153,23 @@ impl QecEngine {
         };
 
         let caching = self.config.cache.enabled && self.cache.capacity() > 0;
-        let mut hit = false;
-        let mut pipeline = None;
-        let mut cache_stats = CacheStats::default();
-        if caching {
-            let (found, stats) = self.cache.get_with_stats(key);
-            cache_stats = stats;
-            if let Some(p) = found {
-                pipeline = Some(p);
-                hit = true;
-            }
-        }
-        let pipeline = match pipeline {
-            Some(p) => p,
-            None => {
-                // The cold path; built outside the cache lock, so a
-                // concurrent miss on the same key at worst duplicates the
-                // (deterministic) build rather than serialising everyone.
-                let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
-                if caching {
-                    cache_stats = self.cache.insert(key, Arc::clone(&built));
+        let (pipeline, hit, cache_stats) = if caching {
+            match self.cache.get_or_build_with_stats(key) {
+                (CacheProbe::Hit(p), stats) => (p, true, stats),
+                (CacheProbe::Miss(ticket), _) => {
+                    // Single-flight cold path: this session holds the
+                    // key's build ticket; concurrent requests for the same
+                    // key wait on its latch and hit the published entry,
+                    // so a cold-start stampede builds exactly once. The
+                    // build itself runs outside the cache lock.
+                    let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+                    let stats = ticket.publish(key, Arc::clone(&built));
+                    (built, false, stats)
                 }
-                built
             }
+        } else {
+            let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+            (built, false, CacheStats::default())
         };
 
         let expander: &dyn Expander = match req.strategy {
@@ -370,6 +364,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the shared arena cache's byte budget: entries are weighed by
+    /// their pipeline heap footprint and evicted from the LRU tail when
+    /// the total exceeds `max_bytes` — whichever of the byte and entry
+    /// bounds trips first wins. `0` (the default) disables the byte bound.
+    pub fn cache_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.config.cache.max_bytes = max_bytes;
+        self
+    }
+
     /// Enables or disables the shared arena cache entirely (disabled:
     /// every request rebuilds its pipeline).
     pub fn cache_enabled(mut self, enabled: bool) -> Self {
@@ -398,7 +401,7 @@ impl EngineBuilder {
             iskr: Iskr(config.iskr.clone()),
             exact: ExactDeltaF(config.exact.clone()),
             pebc: Pebc(config.pebc.clone()),
-            cache: SharedArenaCache::new(config.cache.capacity),
+            cache: SharedArenaCache::with_budget(config.cache.capacity, config.cache.max_bytes),
             fanout_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),

@@ -34,9 +34,14 @@
 //! process clones the `Arc`d pipeline and re-runs only the expansion
 //! kernel; with the ISKR or PEBC strategy a warmed request/[`recycle`]
 //! loop performs zero heap allocations (see `tests/zero_alloc_engine.rs`).
-//! Cache capacity, eviction and hit/miss/eviction statistics are exposed
-//! through [`EngineConfig`], [`EngineBuilder::cache_capacity`] /
-//! [`EngineBuilder::cache_enabled`], and [`ExpandStats::cache`].
+//! Cold misses are **single-flight**: concurrent requests for one key wait
+//! on a per-key latch while exactly one session builds and publishes the
+//! pipeline. Eviction is bounded by entry count *and* an optional byte
+//! budget weighing entries by pipeline heap footprint
+//! ([`EngineBuilder::cache_max_bytes`]). Cache knobs and
+//! hit/miss/eviction/byte statistics are exposed through [`EngineConfig`],
+//! [`EngineBuilder::cache_capacity`] / [`EngineBuilder::cache_enabled`],
+//! and [`ExpandStats::cache`].
 //!
 //! [`expand`]: QecEngine::expand
 //! [`recycle`]: QecEngine::recycle
@@ -47,7 +52,7 @@ pub mod config;
 pub mod engine;
 
 pub use api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
-pub use cache::{CacheStats, SharedArenaCache};
+pub use cache::{BuildTicket, CacheProbe, CacheStats, SharedArenaCache};
 pub use config::{CacheConfig, EngineConfig};
 pub use engine::{EngineBuilder, QecEngine};
 

@@ -28,6 +28,7 @@
 //! allocation-free.
 
 use crate::doc::DocId;
+use qec_bitset::Bitset;
 
 /// Length ratio above which the sorted∧sorted kernel switches from the
 /// linear merge to galloping. 8 is the empirical crossover for u32 keys:
@@ -35,44 +36,31 @@ use crate::doc::DocId;
 /// `m·log₂(n/m)` undercuts `m + n`.
 pub const GALLOP_RATIO: usize = 8;
 
-/// A dense bitmap over the corpus document universe.
-///
-/// Deliberately separate from `qec-core`'s `ResultSet` despite the shared
-/// word-bitset mechanics: the dependency edge runs qec-core → qec-index,
-/// so reusing it here would invert the crate graph. If the kernels ever
-/// grow past trivial (SIMD, ranks), extract a shared word-bitset crate
-/// below both — tracked as a ROADMAP open item.
+/// A dense bitmap over the corpus document universe: a [`DocId`]-typed
+/// view over the shared [`qec_bitset::Bitset`] kernels (the same chunked,
+/// autovectorizable word ops `qec-core`'s `ResultSet` runs on — the
+/// word-loop duplication the ROADMAP tracked is gone).
 #[derive(Debug, PartialEq, Eq)]
-pub struct DocBitmap {
-    words: Vec<u64>,
-    num_docs: usize,
-}
+pub struct DocBitmap(Bitset);
 
 impl Clone for DocBitmap {
     fn clone(&self) -> Self {
-        Self {
-            words: self.words.clone(),
-            num_docs: self.num_docs,
-        }
+        Self(self.0.clone())
     }
 
-    /// Manual impl because the derive would fall back to the default
-    /// `*self = source.clone()`, re-allocating the word buffer on every
-    /// call — `Vec::clone_from` reuses it, which the warmed
-    /// allocation-free search paths rely on.
+    /// Manual impl because the derive would not forward `clone_from`, and
+    /// the default `*self = source.clone()` re-allocates the word buffer —
+    /// `Bitset::clone_from` reuses it, which the warmed allocation-free
+    /// search paths rely on.
     fn clone_from(&mut self, source: &Self) {
-        self.words.clone_from(&source.words);
-        self.num_docs = source.num_docs;
+        self.0.clone_from(&source.0);
     }
 }
 
 impl DocBitmap {
     /// An empty bitmap over `num_docs` documents.
     pub fn empty(num_docs: usize) -> Self {
-        Self {
-            words: vec![0; num_docs.div_ceil(64)],
-            num_docs,
-        }
+        Self(Bitset::empty(num_docs))
     }
 
     /// Builds from ascending doc ids (each `< num_docs`).
@@ -84,71 +72,66 @@ impl DocBitmap {
         b
     }
 
+    /// The underlying universe bitset.
+    #[inline]
+    pub fn as_bitset(&self) -> &Bitset {
+        &self.0
+    }
+
     /// Adds a document.
     #[inline]
     pub fn insert(&mut self, doc: DocId) {
-        debug_assert!((doc.index()) < self.num_docs);
-        self.words[doc.index() / 64] |= 1u64 << (doc.index() % 64);
+        self.0.insert(doc.index());
     }
 
-    /// Membership probe.
+    /// Membership probe (out-of-universe ids read as absent).
     #[inline]
     pub fn contains(&self, doc: DocId) -> bool {
         let i = doc.index();
-        i < self.num_docs && self.words[i / 64] & (1u64 << (i % 64)) != 0
+        i < self.0.universe() && self.0.contains(i)
     }
 
     /// Number of documents in the bitmap.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.0.len()
     }
 
     /// Whether no document is set.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.0.is_empty()
     }
 
     /// Size of the document universe.
     #[inline]
     pub fn num_docs(&self) -> usize {
-        self.num_docs
+        self.0.universe()
+    }
+
+    /// Heap footprint of the word buffer in bytes.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
     }
 
     /// In-place `self ∩= other` (must share the universe).
     pub fn and_assign(&mut self, other: &DocBitmap) {
-        debug_assert_eq!(self.num_docs, other.num_docs);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        self.0.and_assign(&other.0);
     }
 
     /// Empties the bitmap and re-targets it to a `num_docs` universe,
     /// reusing the word buffer when the size allows.
     pub fn reset(&mut self, num_docs: usize) {
-        self.num_docs = num_docs;
-        self.words.clear();
-        self.words.resize(num_docs.div_ceil(64), 0);
+        self.0.reset(num_docs);
     }
-
 
     /// In-place `self ∪= other` (must share the universe).
     pub fn or_assign(&mut self, other: &DocBitmap) {
-        debug_assert_eq!(self.num_docs, other.num_docs);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        self.0.or_assign(&other.0);
     }
 
     /// Appends the members in ascending order to `out`.
     pub fn decode_into(&self, out: &mut Vec<DocId>) {
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                out.push(DocId((wi * 64 + bit) as u32));
-                w &= w - 1;
-            }
-        }
+        out.extend(self.0.iter().map(|i| DocId(i as u32)));
     }
 }
 
