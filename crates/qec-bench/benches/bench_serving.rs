@@ -1,0 +1,277 @@
+//! Batched serving over the persistent work-stealing pool vs per-request
+//! serving: warm Zipf replay throughput × batch size × skew.
+//!
+//! Three serving modes replay the **identical warmed request stream**
+//! (every key pre-built into the shared cache, so the comparison isolates
+//! dispatch + expansion — the steady-state serving cost):
+//!
+//! * `seq_expand` — one `expand` per request, sequential per-cluster
+//!   expansion (`fanout_min_clusters = MAX`, pool disabled): the
+//!   single-thread baseline.
+//! * `scoped_spawn` — one `expand` per request, per-cluster fan-out over
+//!   **freshly scoped threads** (`fanout_min_clusters = 1`, pool
+//!   disabled): PR 3's serving shape, paying thread spawn/join per
+//!   request.
+//! * `batch=N/pooled` — `expand_batch_into` in chunks of `N` over the
+//!   **persistent pool**: one flat task set per chunk, worker threads
+//!   spawned once at engine build.
+//!
+//! The suite asserts, in `--test` smoke mode too, that batched pooled
+//! responses are **bit-identical** to sequential serving of the same
+//! stream; in timed mode it additionally asserts the acceptance claim
+//! that pooled batches of ≥ 8 beat per-request scoped-spawn serving.
+//!
+//! Set `QEC_BENCH_SERVING_JSON=/path/file.json` to write the grid as a
+//! JSON array (see `BENCH_serving.json` at the repo root).
+
+use std::hint::black_box;
+
+use qec_bench::harness::Harness;
+use qec_bench::synth::{synth_corpus, CorpusSpec, ZipfSampler};
+use qec_cluster::SplitMix64;
+use qec_engine::{
+    EngineBuilder, EngineConfig, ExpandRequest, ExpandResponse, QecEngine,
+};
+
+/// Shared query pool: head ranks of the synthetic Zipf vocabulary, so
+/// every query retrieves a dense, clusterable result set.
+const POOL: usize = 24;
+/// Requests per replayed stream (per timed iteration).
+const STREAM: usize = 64;
+
+fn corpus_spec(test_mode: bool) -> CorpusSpec {
+    if test_mode {
+        CorpusSpec {
+            num_docs: 400,
+            vocab: 300,
+            doc_len: 16,
+            ..CorpusSpec::default()
+        }
+    } else {
+        CorpusSpec {
+            num_docs: 2_000,
+            vocab: 1_500,
+            doc_len: 24,
+            ..CorpusSpec::default()
+        }
+    }
+}
+
+/// Serving worker parallelism of the pooled and scoped shapes. Pinned
+/// (rather than auto-probed) so both modes pay for the same concurrency
+/// everywhere — including single-core CI runners, where the scoped mode
+/// still spawns `min(WORKERS, k)` threads per request exactly as a
+/// parallel serving config would.
+const WORKERS: usize = 4;
+
+/// The three serving shapes under test.
+fn engines(spec: &CorpusSpec) -> (QecEngine, QecEngine, QecEngine) {
+    let pooled = EngineBuilder::from_corpus(synth_corpus(spec))
+        .cache_capacity(POOL * 2)
+        .pool_threads(WORKERS)
+        .build();
+    assert_eq!(pooled.pool_threads(), WORKERS);
+    let scoped = EngineBuilder::from_corpus(synth_corpus(spec))
+        .config(EngineConfig {
+            fanout_min_clusters: 1,
+            fanout_threads: WORKERS,
+            ..EngineConfig::default()
+        })
+        .cache_capacity(POOL * 2)
+        .pool_enabled(false)
+        .build();
+    let seq = EngineBuilder::from_corpus(synth_corpus(spec))
+        .config(EngineConfig {
+            fanout_min_clusters: usize::MAX,
+            ..EngineConfig::default()
+        })
+        .cache_capacity(POOL * 2)
+        .pool_enabled(false)
+        .build();
+    (pooled, scoped, seq)
+}
+
+fn request(query: &str) -> ExpandRequest<'_> {
+    ExpandRequest {
+        k_clusters: 4,
+        top_k: 40,
+        ..ExpandRequest::new(query)
+    }
+}
+
+/// Pre-generates one Zipf(s) request stream over the query pool.
+fn stream(zipf_s: f64) -> Vec<usize> {
+    let zipf = ZipfSampler::new(POOL, zipf_s);
+    let mut rng = SplitMix64::seed_from_u64(0xBA7C4 ^ zipf_s.to_bits());
+    (0..STREAM).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+/// Warms every query of the pool into an engine's shared cache.
+fn warm(engine: &QecEngine, queries: &[String]) {
+    for q in queries {
+        let r = engine.expand(&request(q));
+        engine.recycle(r);
+    }
+}
+
+/// Serves the whole stream through per-request `expand` calls.
+fn serve_sequentially(engine: &QecEngine, queries: &[String], picks: &[usize]) {
+    for &p in picks {
+        let r = engine.expand(black_box(&request(&queries[p])));
+        engine.recycle(r);
+    }
+}
+
+/// Serves the whole stream through `expand_batch_into` in chunks of
+/// `batch`, reusing `reqs`/`out` across chunks.
+fn serve_batched(
+    engine: &QecEngine,
+    queries: &[String],
+    picks: &[usize],
+    batch: usize,
+    out: &mut Vec<ExpandResponse>,
+) {
+    for chunk in picks.chunks(batch) {
+        let reqs: Vec<ExpandRequest<'_>> = chunk.iter().map(|&p| request(&queries[p])).collect();
+        engine.expand_batch_into(black_box(&reqs), out);
+        for r in out.drain(..) {
+            engine.recycle(r);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Outcome {
+    zipf_s: f64,
+    mode: String,
+    batch: usize,
+    ns_per_request: f64,
+}
+
+fn main() {
+    let mut h = Harness::new("serving");
+    let test_mode = h.test_mode();
+    let spec = corpus_spec(test_mode);
+    let queries: Vec<String> = (0..POOL).map(|r| format!("w{r}")).collect();
+    let (pooled, scoped, seq) = engines(&spec);
+    for e in [&pooled, &scoped, &seq] {
+        warm(e, &queries);
+    }
+
+    // Parity first, in every mode: batched pooled serving must be
+    // bit-identical to sequential serving of the same stream.
+    {
+        let picks = stream(1.0);
+        let mut out = Vec::new();
+        for batch in [1, 3, 8] {
+            for chunk in picks.chunks(batch) {
+                let reqs: Vec<ExpandRequest<'_>> =
+                    chunk.iter().map(|&p| request(&queries[p])).collect();
+                pooled.expand_batch_into(&reqs, &mut out);
+                for (resp, &p) in out.iter().zip(chunk) {
+                    let want = seq.expand(&request(&queries[p]));
+                    assert!(
+                        resp.clusters() == want.clusters(),
+                        "batch={batch}: batched response diverged from sequential for {:?}",
+                        queries[p]
+                    );
+                    assert!(resp.stats.arena_cache_hit, "warm replay must hit");
+                    seq.recycle(want);
+                }
+                for r in out.drain(..) {
+                    pooled.recycle(r);
+                }
+            }
+        }
+        println!("serving/parity batched == sequential across batch sizes: ok");
+    }
+
+    let (zipf_grid, batch_grid): (&[f64], &[usize]) = if test_mode {
+        (&[1.0], &[1, 8])
+    } else {
+        (&[0.0, 1.0, 1.5], &[1, 2, 4, 8, 16, 32])
+    };
+
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for &zipf_s in zipf_grid {
+        let picks = stream(zipf_s);
+        h.bench(&format!("zipf={zipf_s}/seq_expand"), || {
+            serve_sequentially(&seq, &queries, &picks)
+        });
+        h.bench(&format!("zipf={zipf_s}/scoped_spawn"), || {
+            serve_sequentially(&scoped, &queries, &picks)
+        });
+        let mut out = Vec::new();
+        for &batch in batch_grid {
+            h.bench(&format!("zipf={zipf_s}/batch={batch}/pooled"), || {
+                serve_batched(&pooled, &queries, &picks, batch, &mut out)
+            });
+        }
+
+        if !test_mode {
+            let per_req = |case: &str| {
+                h.median_of(case).map(|ns| ns / STREAM as f64).unwrap_or(f64::NAN)
+            };
+            let scoped_ns = per_req(&format!("zipf={zipf_s}/scoped_spawn"));
+            outcomes.push(Outcome {
+                zipf_s,
+                mode: "seq_expand".into(),
+                batch: 1,
+                ns_per_request: per_req(&format!("zipf={zipf_s}/seq_expand")),
+            });
+            outcomes.push(Outcome {
+                zipf_s,
+                mode: "scoped_spawn".into(),
+                batch: 1,
+                ns_per_request: scoped_ns,
+            });
+            for &batch in batch_grid {
+                let ns = per_req(&format!("zipf={zipf_s}/batch={batch}/pooled"));
+                println!(
+                    "serving/summary zipf={zipf_s} batch={batch}: {:.1} µs/req pooled vs {:.1} µs/req scoped ({:.2}x)",
+                    ns / 1_000.0,
+                    scoped_ns / 1_000.0,
+                    scoped_ns / ns,
+                );
+                // The acceptance claim: batched pooled serving beats
+                // per-request scoped-spawn serving at batch ≥ 8.
+                if batch >= 8 {
+                    assert!(
+                        ns < scoped_ns,
+                        "batch={batch} pooled ({ns:.0} ns/req) must beat scoped spawn \
+                         ({scoped_ns:.0} ns/req) at zipf {zipf_s}"
+                    );
+                }
+                outcomes.push(Outcome {
+                    zipf_s,
+                    mode: "pooled".into(),
+                    batch,
+                    ns_per_request: ns,
+                });
+            }
+        }
+    }
+
+    if let Ok(path) = std::env::var("QEC_BENCH_SERVING_JSON") {
+        use std::io::Write;
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        writeln!(f, "[").expect("write json");
+        for (i, o) in outcomes.iter().enumerate() {
+            writeln!(
+                f,
+                "  {{\"zipf\":{},\"mode\":\"{}\",\"batch\":{},\"ns_per_request\":{:.1}}}{}",
+                o.zipf_s,
+                o.mode,
+                o.batch,
+                o.ns_per_request,
+                if i + 1 < outcomes.len() { "," } else { "" },
+            )
+            .expect("write json");
+        }
+        writeln!(f, "]").expect("write json");
+        println!("# wrote {path}");
+    }
+
+    h.finish();
+}

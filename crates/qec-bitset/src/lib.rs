@@ -409,6 +409,22 @@ impl Bitset {
             .flat_map(|(wi, &word)| BitIter { word, base: wi * 64 })
     }
 
+    /// Iterates over member indices `≥ start` in ascending order — the
+    /// pagination companion of [`select`](Self::select): jump to a page's
+    /// first member with `select(offset)` (or a [`RankIndex`]), then
+    /// stream the page from there without rescanning the prefix.
+    pub fn iter_from(&self, start: usize) -> impl Iterator<Item = usize> + '_ {
+        let first = (start / 64).min(self.words.len());
+        let mask = match start % 64 {
+            0 => !0u64,
+            rem => !((1u64 << rem) - 1),
+        };
+        self.words[first..].iter().enumerate().flat_map(move |(wi, &word)| {
+            let word = if wi == 0 { word & mask } else { word };
+            BitIter { word, base: (first + wi) * 64 }
+        })
+    }
+
     /// Members collected into a vector.
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
@@ -777,6 +793,17 @@ mod tests {
         assert!((inter - a.and(&m).and(&c).weighted_sum(&weights)).abs() < 1e-12);
         let fused = a.weighted_sum_and_not_and(&m, &c, &weights);
         assert!((fused - a.and_not(&m).and(&c).weighted_sum(&weights)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_from_matches_filtered_iter() {
+        let s = Bitset::from_indices(200, (0..200).filter(|i| i % 7 == 3 || i % 31 == 0));
+        for start in [0, 1, 3, 63, 64, 65, 128, 199, 200] {
+            let want: Vec<usize> = s.iter().filter(|&i| i >= start).collect();
+            let got: Vec<usize> = s.iter_from(start).collect();
+            assert_eq!(got, want, "start = {start}");
+        }
+        assert_eq!(Bitset::empty(64).iter_from(10).count(), 0);
     }
 
     #[test]

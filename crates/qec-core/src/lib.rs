@@ -18,9 +18,12 @@
 //!   valuation, no maintenance, no removals.
 //! * [`expander`] — the [`Expander`] strategy trait unifying the three
 //!   algorithms behind one interface (what `qec-engine` serves through).
-//! * [`parallel`] — scoped-thread fan-out of independent per-cluster
-//!   expansions (the offline-build substitute for rayon), generic over
-//!   [`Expander`].
+//! * [`parallel`] — fan-out of independent per-cluster expansions
+//!   (the offline-build substitute for rayon), generic over [`Expander`],
+//!   with both a scoped-thread backend and a persistent-pool backend.
+//! * [`pool`] — the long-lived work-stealing [`WorkerPool`] behind the
+//!   pooled backend: per-worker deques with steal-on-empty, an injector
+//!   queue, park/unpark idling, and a zero-allocation indexed batch mode.
 
 pub mod bitset;
 pub mod expander;
@@ -29,6 +32,7 @@ pub mod iskr;
 pub mod metrics;
 pub mod parallel;
 pub mod pebc;
+pub mod pool;
 pub mod problem;
 
 pub use bitset::ResultSet;
@@ -40,8 +44,10 @@ pub use fmeasure::{fmeasure_refine, fmeasure_refine_into, FMeasureConfig};
 pub use iskr::{iskr, iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
 pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
 pub use parallel::{
-    expand_clusters, expand_clusters_with, expand_clusters_with_threads,
-    expand_shared_clusters_with,
+    expand_clusters, expand_clusters_pooled, expand_clusters_with, expand_clusters_with_threads,
+    expand_shared_clusters_pooled, expand_shared_clusters_pooled_into,
+    expand_shared_clusters_with, DisjointSlots, ScratchPool,
 };
+pub use pool::{default_parallelism, WorkerPool};
 pub use pebc::{pebc, pebc_into, PebcConfig};
 pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance, SetSlot};

@@ -2,38 +2,46 @@
 //!
 //! The paper expands each cluster of the original result list separately;
 //! the instances share the (immutable) arena and nothing else, so they
-//! parallelise embarrassingly. This is the seam where `rayon` would plug
-//! in; the offline build fans out over `std::thread::scope` instead — each
-//! worker owns one [`IskrScratch`] for its whole batch, so the
-//! zero-allocation discipline of the sequential path carries over (one
-//! scratch warm-up per worker, not per cluster).
+//! parallelise embarrassingly. Two execution backends share the same
+//! deterministic contract (output order matches input order; results are
+//! bit-identical to the sequential algorithm at any worker count):
 //!
-//! The fan-out is strategy-generic: [`expand_clusters_with`] takes any
-//! [`Expander`] (ISKR, PEBC, exact-ΔF), and the ISKR-specific entry points
-//! delegate to it.
+//! * **Scoped threads** — [`expand_clusters_with`] /
+//!   [`expand_shared_clusters_with`] spawn a `std::thread::scope` per
+//!   call. Simple and dependency-free, but every call pays thread
+//!   spawn/join; this is the fallback for pool-less callers.
+//! * **Persistent pool** — [`expand_clusters_pooled`] /
+//!   [`expand_shared_clusters_pooled`] /
+//!   [`expand_shared_clusters_pooled_into`] schedule the clusters as one
+//!   task set on a long-lived [`WorkerPool`], drawing per-task
+//!   [`IskrScratch`]es from a [`ScratchPool`] so warmed steady-state
+//!   dispatch performs no heap allocation (the `_into` variant writes
+//!   into caller-owned output slots and is what the engine's batched
+//!   serving path builds on).
 //!
-//! Clusters are dealt to workers in strides (worker `w` takes clusters
-//! `w, w + t, w + 2t, …`), which balances the common skew where the first
-//! clusters are the big ones. Output order matches input order regardless
-//! of scheduling, and a single worker degrades to the exact sequential
-//! algorithm — results are identical at any thread count.
+//! In the scoped backend, clusters are dealt to workers in strides
+//! (worker `w` takes clusters `w, w + t, w + 2t, …`), which balances the
+//! common skew where the first clusters are the big ones; in the pooled
+//! backend, span splitting and stealing rebalance dynamically.
+
+use std::cell::UnsafeCell;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::bitset::ResultSet;
 use crate::expander::{Expander, Iskr};
 use crate::iskr::{ExpandedQuery, IskrConfig, IskrScratch};
+use crate::pool::{default_parallelism, WorkerPool};
 use crate::problem::{ExpansionArena, QecInstance};
 
 /// Expands every cluster with ISKR, using up to
-/// `std::thread::available_parallelism()` worker threads.
+/// [`default_parallelism`] worker threads (probed once per process, not
+/// per call).
 pub fn expand_clusters(
     arena: &ExpansionArena,
     clusters: &[ResultSet],
     config: &IskrConfig,
 ) -> Vec<ExpandedQuery> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    expand_clusters_with_threads(arena, clusters, config, threads)
+    expand_clusters_with_threads(arena, clusters, config, default_parallelism())
 }
 
 /// Expands every cluster with ISKR on exactly `threads` workers (clamped to
@@ -133,6 +141,146 @@ fn expand_one(
     let mut out = ExpandedQuery::default();
     expander.expand_into(inst, scratch, &mut out);
     out
+}
+
+/// A shared pool of [`IskrScratch`]es for pool-backed expansion: tasks
+/// acquire a scratch, expand, and release it, so a long-lived serving
+/// process converges on one warmed scratch per concurrently running task
+/// instead of building a fresh one per request. Acquire/release are a
+/// mutex-guarded `Vec` pop/push — allocation-free once the pool has grown
+/// to its steady-state size.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    inner: Mutex<Vec<IskrScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; scratches are created on first acquire and retained
+    /// on release.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pops a pooled scratch, or creates a fresh one when empty.
+    pub fn acquire(&self) -> IskrScratch {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch for later reuse.
+    pub fn release(&self, scratch: IskrScratch) {
+        self.lock().push(scratch);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<IskrScratch>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Output slots written by disjoint indices from many pool workers. A thin
+/// `UnsafeCell` wrapper: soundness rests on the scheduler's guarantee that
+/// every index is claimed exactly once ([`WorkerPool::run_indexed`]), so
+/// no two tasks ever touch the same slot. Public so pool-driven serving
+/// code (the engine's batched flat task set) can reuse it instead of
+/// re-deriving the aliasing argument.
+pub struct DisjointSlots<'a, T> {
+    slots: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: concurrent access is confined to distinct indices (each index of
+// a `run_indexed` batch runs exactly once), so shared references to the
+// wrapper never alias mutably.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    /// Wraps a uniquely borrowed slice for disjoint-index writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` → `&[UnsafeCell<T>]` is sound (UnsafeCell is
+        // repr(transparent)); the unique borrow is held for `'a`.
+        let slots = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { slots }
+    }
+
+    /// Mutable access to slot `i`.
+    ///
+    /// # Safety
+    /// No other access to slot `i` may be live — callers must only use
+    /// each index from the task that exclusively owns it.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.slots[i].get() }
+    }
+}
+
+/// [`expand_clusters_with`], but scheduled on a persistent [`WorkerPool`]
+/// instead of freshly scoped threads — the serving backend. Identical
+/// output at any pool size.
+pub fn expand_clusters_pooled(
+    pool: &WorkerPool,
+    scratches: &ScratchPool,
+    arena: &ExpansionArena,
+    clusters: &[ResultSet],
+    expander: &dyn Expander,
+) -> Vec<ExpandedQuery> {
+    let mut out = vec![ExpandedQuery::default(); clusters.len()];
+    expand_pooled_into(pool, scratches, expander, &mut out, &|i| {
+        QecInstance::new(arena, clusters[i].clone())
+    });
+    out
+}
+
+/// [`expand_shared_clusters_with`], but scheduled on a persistent
+/// [`WorkerPool`] — the big-`k` serving fan-out once an engine owns a
+/// pool. Identical output at any pool size.
+pub fn expand_shared_clusters_pooled(
+    pool: &WorkerPool,
+    scratches: &ScratchPool,
+    arena: &ExpansionArena,
+    parts: &[(&ResultSet, &ResultSet)],
+    expander: &dyn Expander,
+) -> Vec<ExpandedQuery> {
+    let mut out = vec![ExpandedQuery::default(); parts.len()];
+    expand_shared_clusters_pooled_into(pool, scratches, arena, parts, expander, &mut out);
+    out
+}
+
+/// [`expand_shared_clusters_pooled`] writing into caller-owned slots —
+/// the allocation-free core the engine's batched serving path reuses its
+/// warmed output buffers through. `out.len()` must equal `parts.len()`;
+/// slot `i` is overwritten with cluster `i`'s expansion.
+pub fn expand_shared_clusters_pooled_into(
+    pool: &WorkerPool,
+    scratches: &ScratchPool,
+    arena: &ExpansionArena,
+    parts: &[(&ResultSet, &ResultSet)],
+    expander: &dyn Expander,
+    out: &mut [ExpandedQuery],
+) {
+    assert_eq!(out.len(), parts.len(), "one output slot per cluster");
+    expand_pooled_into(pool, scratches, expander, out, &|i| {
+        QecInstance::from_shared_parts(arena, parts[i].0, parts[i].1)
+    });
+}
+
+/// The pooled scheduling skeleton: `make(i)` builds the `i`-th instance on
+/// whichever worker claims the index.
+fn expand_pooled_into<'a, F>(
+    pool: &WorkerPool,
+    scratches: &ScratchPool,
+    expander: &dyn Expander,
+    out: &mut [ExpandedQuery],
+    make: &F,
+) where
+    F: Fn(usize) -> QecInstance<'a> + Sync,
+{
+    let n = out.len();
+    let slots = DisjointSlots::new(out);
+    pool.run_indexed(n, &|i| {
+        let mut scratch = scratches.acquire();
+        // SAFETY: `run_indexed` hands each index to exactly one task.
+        let slot = unsafe { slots.get(i) };
+        expander.expand_into(&make(i), &mut scratch, slot);
+        scratches.release(scratch);
+    });
 }
 
 #[cfg(test)]

@@ -61,11 +61,23 @@ pub struct ExpandRequest<'q> {
     pub semantics: QuerySemantics,
     /// Expansion strategy serving this request.
     pub strategy: ExpandStrategy,
+    /// Rank-based pagination: skip this many member documents of every
+    /// cluster before filling [`ClusterExpansion::docs`]. Served through
+    /// each cached cluster's `RankIndex` sidecar (`select(offset)` jumps
+    /// straight to the page), so deep pages cost a cached-block lookup,
+    /// not a prefix scan. Pagination shapes the response only — it is
+    /// **not** part of the cache key, so every page of a query shares one
+    /// pipeline entry.
+    pub member_offset: usize,
+    /// Rank-based pagination: keep at most this many member documents per
+    /// cluster (`0` keeps every member from `member_offset` on).
+    pub member_limit: usize,
 }
 
 impl<'q> ExpandRequest<'q> {
     /// A request for `query` with the paper's defaults: AND semantics,
-    /// ISKR expansion, up to 5 clusters, no result truncation.
+    /// ISKR expansion, up to 5 clusters, no result truncation, no member
+    /// pagination.
     pub fn new(query: &'q str) -> Self {
         Self {
             query,
@@ -73,6 +85,8 @@ impl<'q> ExpandRequest<'q> {
             top_k: 0,
             semantics: QuerySemantics::And,
             strategy: ExpandStrategy::Iskr,
+            member_offset: 0,
+            member_limit: 0,
         }
     }
 }
@@ -80,7 +94,10 @@ impl<'q> ExpandRequest<'q> {
 /// One cluster's share of a response: its members and its expanded query.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusterExpansion {
-    /// The cluster's documents, in arena (rank) order.
+    /// The cluster's documents, in arena (rank) order — restricted to the
+    /// requested page when the request set
+    /// [`member_offset`](ExpandRequest::member_offset) /
+    /// [`member_limit`](ExpandRequest::member_limit).
     pub docs: Vec<DocId>,
     /// Terms added to the user query, in ascending candidate order —
     /// resolve to strings with

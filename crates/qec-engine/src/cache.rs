@@ -14,8 +14,9 @@
 //!
 //! Sharing model
 //! -------------
-//! Entries are `Arc<CachedPipeline>`: the immutable expansion arena plus
-//! each cluster's `(C, U)` bitsets and member list. A hit clones the `Arc`
+//! Entries are `Arc<CachedPipeline>`: the immutable expansion arena, the
+//! result-doc list, and each cluster's `(C, U)` bitsets plus rank
+//! sidecar. A hit clones the `Arc`
 //! and the session expands through borrowing instances
 //! ([`qec_core::QecInstance::from_shared_parts`]); all mutable state (ISKR
 //! scratch, expansion output, response buffers) stays session-local. An
@@ -41,8 +42,8 @@
 //! Two limits, evicting from the LRU tail when **either** trips: an entry
 //! count (`capacity`) and an optional byte budget (`max_bytes`, `0` =
 //! unbounded) weighing each entry by its pipeline's heap footprint
-//! ([`CachedPipeline::heap_bytes`]: arena + per-cluster bitsets + member
-//! lists). The byte budget is what keeps memory bounded under mixed
+//! ([`CachedPipeline::heap_bytes`]: arena + result-doc list + per-cluster
+//! bitsets + rank sidecars). The byte budget is what keeps memory bounded under mixed
 //! `top_k` workloads, where a top-500 entry costs ~100× a top-30 one and
 //! an entry count alone says nothing about bytes. Occupancy is surfaced
 //! as [`CacheStats::bytes_in_use`].
@@ -65,20 +66,39 @@
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use qec_core::{ExpansionArena, ResultSet};
+use qec_core::{ExpansionArena, RankIndex, ResultSet};
 use qec_index::{DocId, QuerySemantics};
 use qec_text::fxhash::{FxHashMap, FxHasher};
 use qec_text::TermId;
 
-/// One cluster's cached expansion inputs (immutable once cached).
+/// One cluster's cached expansion inputs (immutable once cached). Member
+/// documents are **not** duplicated per cluster: the cluster bitset plus
+/// the pipeline-wide [`CachedPipeline::docs`] list resolve any member, and
+/// the [`RankIndex`] sidecar answers positional queries — the `n`-th
+/// member of the page a paginated request asks for — in one cached-block
+/// jump instead of a prefix scan.
 #[derive(Debug)]
 pub struct CachedCluster {
-    /// Member documents in arena (rank) order.
-    pub docs: Vec<DocId>,
     /// The cluster bitset `C` over the arena.
     pub cluster: ResultSet,
     /// The out-of-cluster universe `U` (arena complement of `C`).
     pub universe: ResultSet,
+    /// Cached-popcount sidecar over `cluster`, built once at pipeline
+    /// construction (the set is frozen, the sidecar's ideal contract) —
+    /// backs `select`-based member pagination on the serving path.
+    pub rank: RankIndex,
+}
+
+impl CachedCluster {
+    /// Builds a cached cluster from its bitset over the arena, deriving
+    /// the universe complement and the rank sidecar.
+    pub fn new(cluster: ResultSet, full: &ResultSet) -> Self {
+        Self {
+            universe: full.and_not(&cluster),
+            rank: RankIndex::build(&cluster),
+            cluster,
+        }
+    }
 }
 
 /// Everything the retrieve → rank → cluster → arena pipeline built for one
@@ -88,7 +108,12 @@ pub struct CachedCluster {
 pub struct CachedPipeline {
     /// The expansion arena (results, weights, candidates, eliminator map).
     pub arena: ExpansionArena,
-    /// Per-cluster `(C, U)` pairs and member lists.
+    /// Every retrieved document in arena (rank) order: arena index `j` is
+    /// document `docs[j]`. Shared by all clusters — member lists are
+    /// sliced out of this through each cluster's bitset instead of being
+    /// stored per cluster.
+    pub docs: Vec<DocId>,
+    /// Per-cluster `(C, U)` pairs and rank sidecars.
     pub clusters: Vec<CachedCluster>,
 }
 
@@ -98,14 +123,15 @@ impl CachedPipeline {
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
         self.arena.heap_bytes()
+            + self.docs.capacity() * size_of::<DocId>()
             + self
                 .clusters
                 .iter()
                 .map(|c| {
                     size_of::<CachedCluster>()
-                        + c.docs.capacity() * size_of::<DocId>()
                         + c.cluster.heap_bytes()
                         + c.universe.heap_bytes()
+                        + c.rank.heap_bytes()
                 })
                 .sum::<usize>()
     }
@@ -686,6 +712,7 @@ mod tests {
     fn pipe(tag: usize) -> Arc<CachedPipeline> {
         Arc::new(CachedPipeline {
             arena: ExpansionArena::from_parts(vec![1.0; tag + 1], Vec::new()),
+            docs: Vec::new(),
             clusters: Vec::new(),
         })
     }

@@ -38,11 +38,43 @@ impl Default for CacheConfig {
     }
 }
 
+/// Knobs of the persistent work-stealing worker pool
+/// ([`qec_core::WorkerPool`]) and the batched serving path
+/// ([`QecEngine::expand_batch`](crate::QecEngine::expand_batch)).
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Build a pool at all. `false` falls back to the per-call
+    /// scoped-thread fan-out (and a pool-less `expand_batch` serves its
+    /// requests sequentially) — the baseline `bench_serving` measures
+    /// against.
+    pub enabled: bool,
+    /// Worker threads; `0` resolves
+    /// [`qec_core::default_parallelism`] once at engine build.
+    pub threads: usize,
+    /// Maximum requests scheduled per inner batch: longer `expand_batch`
+    /// slices are served in chunks of this many requests, bounding the
+    /// working state (sessions, flat task set) a single batch pins. `0`
+    /// means unbounded.
+    pub batch_max: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            threads: 0,
+            batch_max: 64,
+        }
+    }
+}
+
 /// Configuration for every stage behind [`QecEngine`](crate::QecEngine).
 ///
 /// The defaults are the paper's: top-20% tf·idf candidate pruning, cosine
 /// k-means with k-means++ seeding, value>1 greedy expansion with removals
-/// and affected-only maintenance — plus a 128-entry shared arena cache and
+/// and affected-only maintenance — plus a 128-entry shared arena cache, a
+/// machine-sized persistent worker pool serving batches of up to 64
+/// requests, and
 /// sequential per-cluster expansion below 8 clusters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -60,14 +92,24 @@ pub struct EngineConfig {
     pub pebc: PebcConfig,
     /// Shared cross-session arena cache.
     pub cache: CacheConfig,
+    /// Persistent worker pool + batched serving.
+    pub pool: PoolConfig,
     /// Requests with at least this many non-empty clusters expand through
-    /// the scoped-thread fan-out
-    /// ([`qec_core::expand_shared_clusters_with`]) instead of the
-    /// sequential loop. The fan-out trades the zero-allocation discipline
-    /// for per-cluster parallelism, which wins at big `k` on cache hits
-    /// where expansion is the whole request. `usize::MAX` keeps every
-    /// request sequential.
+    /// the per-cluster fan-out (the persistent pool when one is
+    /// configured, otherwise the scoped-thread
+    /// [`qec_core::expand_shared_clusters_with`]) instead of the
+    /// sequential loop. The single-request fan-out trades the
+    /// zero-allocation discipline for per-cluster parallelism, which wins
+    /// at big `k` on cache hits where expansion is the whole request;
+    /// batched requests always take the (allocation-free) pooled flat
+    /// task set when a pool exists. `usize::MAX` keeps every
+    /// single request sequential.
     pub fanout_min_clusters: usize,
+    /// Worker count of the scoped-thread fan-out fallback (spawned per
+    /// request when the pool is disabled and a request reaches
+    /// `fanout_min_clusters`); `0` resolves
+    /// [`qec_core::default_parallelism`] once at engine build.
+    pub fanout_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -79,7 +121,9 @@ impl Default for EngineConfig {
             exact: FMeasureConfig::default(),
             pebc: PebcConfig::default(),
             cache: CacheConfig::default(),
+            pool: PoolConfig::default(),
             fanout_min_clusters: 8,
+            fanout_threads: 0,
         }
     }
 }

@@ -30,8 +30,9 @@ use std::sync::{Arc, Mutex};
 
 use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, SparseVec};
 use qec_core::{
-    expand_shared_clusters_with, ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr,
-    IskrScratch, Pebc, QecInstance, ResultSet,
+    default_parallelism, expand_shared_clusters_pooled_into, expand_shared_clusters_with,
+    DisjointSlots, ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr, IskrScratch, Pebc,
+    QecInstance, ResultSet, ScratchPool, WorkerPool,
 };
 use qec_index::{
     Corpus, CorpusBuilder, DocId, DocumentSpec, QuerySemantics, SearchScratch, Searcher,
@@ -60,6 +61,42 @@ struct SessionScratch {
     keyword_buf: String,
 }
 
+/// One distinct analysed key of a batch: its representative request, the
+/// pipeline serving the whole group, and the probe outcome.
+#[derive(Debug, Default)]
+struct GroupSlot {
+    /// Index of the first request with this key (the one whose probe /
+    /// build the group rides on).
+    rep: usize,
+    /// The shared pipeline; cleared before the scratch returns to its
+    /// pool so pooled batch state never pins cache memory.
+    pipeline: Option<Arc<CachedPipeline>>,
+    /// Whether the group's probe hit the shared cache.
+    hit: bool,
+    /// Post-probe cache snapshot for the group.
+    stats: CacheStats,
+}
+
+/// Reusable working state of one in-flight [`QecEngine::expand_batch`]
+/// chunk; pooled by the engine like [`SessionScratch`]. Every vector only
+/// grows, so a warmed batch loop of stable shape performs no heap
+/// allocation.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// One session per request slot (analysis buffers + build scratch).
+    sessions: Vec<SessionScratch>,
+    /// Request index → index into `groups`.
+    group_of: Vec<usize>,
+    /// One slot per distinct analysed key in the chunk.
+    groups: Vec<GroupSlot>,
+    /// Request index → offset of its first task in `outs`.
+    offsets: Vec<usize>,
+    /// Flat task index → owning request index.
+    task_req: Vec<u32>,
+    /// Flat per-(request, cluster) expansion outputs.
+    outs: Vec<ExpandedQuery>,
+}
+
 /// The unified serving facade over retrieve → rank → cluster → expand.
 ///
 /// Shared by reference across threads: `expand` takes `&self`; sessions
@@ -73,12 +110,19 @@ pub struct QecEngine {
     exact: ExactDeltaF,
     pebc: Pebc,
     cache: SharedArenaCache,
-    /// Worker count for the big-`k` fan-out, resolved once at build time
+    /// Worker count for the scoped-thread fan-out fallback, resolved once
+    /// at build time from the process-wide [`default_parallelism`] cache
     /// (`available_parallelism` probes cgroup/affinity state per call —
     /// not something to pay on the serving hot path).
     fanout_threads: usize,
+    /// The persistent work-stealing pool serving fan-outs and batches;
+    /// `None` falls back to scoped threads / sequential batches.
+    pool: Option<WorkerPool>,
+    /// Shared expansion scratches for pool tasks.
+    scratches: ScratchPool,
     sessions: Mutex<Vec<SessionScratch>>,
     responses: Mutex<Vec<ExpandResponse>>,
+    batches: Mutex<Vec<BatchScratch>>,
 }
 
 impl std::fmt::Debug for QecEngine {
@@ -130,9 +174,253 @@ impl QecEngine {
     }
 
     /// Returns a response's buffers to the pool for reuse by later
-    /// [`expand`](Self::expand) calls.
+    /// [`expand`](Self::expand) / [`expand_batch`](Self::expand_batch)
+    /// calls.
     pub fn recycle(&self, resp: ExpandResponse) {
         lock(&self.responses).push(resp);
+    }
+
+    /// Worker threads of the persistent pool (`0` when the pool is
+    /// disabled and serving falls back to scoped threads).
+    pub fn pool_threads(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::threads)
+    }
+
+    /// Serves a batch of expansion requests, returning one response per
+    /// request in request order. See
+    /// [`expand_batch_into`](Self::expand_batch_into) — this convenience
+    /// wrapper allocates the response vector.
+    pub fn expand_batch(&self, reqs: &[ExpandRequest<'_>]) -> Vec<ExpandResponse> {
+        let mut out = Vec::with_capacity(reqs.len());
+        self.expand_batch_into(reqs, &mut out);
+        out
+    }
+
+    /// Serves a batch of expansion requests into `out` (cleared first),
+    /// one response per request in request order, bit-identical to
+    /// serving the same requests through sequential
+    /// [`expand`](Self::expand) calls.
+    ///
+    /// Batching is where the persistent pool pays off:
+    ///
+    /// * requests are **grouped by analysed cache key**, so `N` identical
+    ///   cold queries trigger **one** pipeline build (the single-flight
+    ///   latch extends the same guarantee across concurrent batches);
+    /// * every group's per-cluster expansions are scheduled as **one flat
+    ///   task set** across the pool — dispatch, wake-ups and steals are
+    ///   amortised over the whole batch instead of paid per request;
+    /// * per-request state comes from recycled pools, so a warmed batch
+    ///   loop (stable shape, cache-hit keys, responses handed back
+    ///   through [`recycle`](Self::recycle)) performs **zero heap
+    ///   allocations** — the `zero_alloc_batch` test arms a counting
+    ///   allocator around exactly this loop.
+    ///
+    /// Slices longer than [`PoolConfig::batch_max`](crate::config::PoolConfig::batch_max)
+    /// are served in chunks of that many requests. Without a pool
+    /// ([`PoolConfig::enabled`](crate::config::PoolConfig::enabled) =
+    /// `false`) requests are served sequentially — the shared cache still
+    /// collapses identical keys within the batch to one build.
+    pub fn expand_batch_into(&self, reqs: &[ExpandRequest<'_>], out: &mut Vec<ExpandResponse>) {
+        out.clear();
+        match &self.pool {
+            Some(pool) => {
+                let chunk_max = match self.config.pool.batch_max {
+                    0 => reqs.len().max(1),
+                    max => max,
+                };
+                for chunk in reqs.chunks(chunk_max) {
+                    self.serve_chunk_pooled(pool, chunk, out);
+                }
+            }
+            None => {
+                for req in reqs {
+                    out.push(self.expand(req));
+                }
+            }
+        }
+    }
+
+    /// Serves one pooled chunk: analyse → group by key → acquire one
+    /// pipeline per group (single-flight) → expand all clusters as one
+    /// flat task set → fill responses in request order.
+    fn serve_chunk_pooled(
+        &self,
+        pool: &WorkerPool,
+        reqs: &[ExpandRequest<'_>],
+        out: &mut Vec<ExpandResponse>,
+    ) {
+        let mut batch = lock(&self.batches).pop().unwrap_or_default();
+        let b = &mut batch;
+        if b.sessions.len() < reqs.len() {
+            b.sessions.resize_with(reqs.len(), SessionScratch::default);
+        }
+
+        // Analyse every request and group identical (terms, semantics,
+        // k_clusters, top_k) keys; pagination fields shape the response
+        // only and deliberately stay out of the key. With the cache
+        // disabled every request forms its own group — "rebuilds every
+        // request" is the documented contract, and collapsing duplicates
+        // would diverge from what the same stream reports through
+        // sequential `expand` calls.
+        let caching = self.config.cache.enabled && self.cache.capacity() > 0;
+        b.group_of.clear();
+        b.groups.clear();
+        for (i, req) in reqs.iter().enumerate() {
+            let s = &mut b.sessions[i];
+            self.corpus
+                .query_terms_into(req.query, &mut s.terms, &mut s.keyword_buf);
+            s.terms.sort_unstable();
+        }
+        for (i, req) in reqs.iter().enumerate() {
+            let found = if caching {
+                b.groups.iter().position(|g| {
+                    let rep = &reqs[g.rep];
+                    rep.semantics == req.semantics
+                        && rep.k_clusters == req.k_clusters
+                        && rep.top_k == req.top_k
+                        && b.sessions[g.rep].terms == b.sessions[i].terms
+                })
+            } else {
+                None
+            };
+            b.group_of.push(match found {
+                Some(g) => g,
+                None => {
+                    b.groups.push(GroupSlot {
+                        rep: i,
+                        ..GroupSlot::default()
+                    });
+                    b.groups.len() - 1
+                }
+            });
+        }
+
+        // One pipeline per distinct key. Duplicates of a cold key share
+        // the representative's build — within this chunk by construction,
+        // across concurrent chunks through the cache's single-flight
+        // latch.
+        for g in b.groups.iter_mut() {
+            let req = &reqs[g.rep];
+            let s = &mut b.sessions[g.rep];
+            let key = KeyRef {
+                terms: &s.terms,
+                semantics: req.semantics,
+                k_clusters: req.k_clusters,
+                top_k: req.top_k,
+            };
+            let (pipeline, hit, stats) = if caching {
+                match self.cache.get_or_build_with_stats(key) {
+                    (CacheProbe::Hit(p), stats) => (p, true, stats),
+                    (CacheProbe::Miss(ticket), _) => {
+                        let built =
+                            Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+                        let stats = ticket.publish(key, Arc::clone(&built));
+                        (built, false, stats)
+                    }
+                }
+            } else {
+                let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+                (built, false, CacheStats::default())
+            };
+            g.pipeline = Some(pipeline);
+            g.hit = hit;
+            g.stats = stats;
+        }
+
+        // Lay out the flat task set: task t expands cluster
+        // `t - offsets[r]` of request `r = task_req[t]`.
+        b.offsets.clear();
+        b.task_req.clear();
+        let mut total = 0usize;
+        for i in 0..reqs.len() {
+            b.offsets.push(total);
+            let k = pipeline_of(&b.groups, &b.group_of, i).clusters.len();
+            for _ in 0..k {
+                b.task_req.push(i as u32);
+            }
+            total += k;
+        }
+        if b.outs.len() < total {
+            b.outs.resize_with(total, ExpandedQuery::default);
+        }
+
+        if total >= 2 {
+            // The batched hot path: every cluster of every request as one
+            // flat task set across the pool, scratches drawn from the
+            // shared scratch pool on whichever worker claims each task.
+            let BatchScratch {
+                groups,
+                group_of,
+                offsets,
+                task_req,
+                outs,
+                ..
+            } = b;
+            let (groups, group_of): (&[GroupSlot], &[usize]) = (groups, group_of);
+            let (offsets, task_req): (&[usize], &[u32]) = (offsets, task_req);
+            let slots = DisjointSlots::new(&mut outs[..total]);
+            pool.run_indexed(total, &|t| {
+                let r = task_req[t] as usize;
+                let p = pipeline_of(groups, group_of, r);
+                let cc = &p.clusters[t - offsets[r]];
+                let inst = QecInstance::from_shared_parts(&p.arena, &cc.cluster, &cc.universe);
+                let mut scratch = self.scratches.acquire();
+                // SAFETY: `run_indexed` hands each index to exactly one
+                // task, so slot `t` is never aliased.
+                let slot = unsafe { slots.get(t) };
+                self.expander_for(reqs[r].strategy).expand_into(&inst, &mut scratch, slot);
+                self.scratches.release(scratch);
+            });
+        } else if total == 1 {
+            let r = b.task_req[0] as usize;
+            let p = pipeline_of(&b.groups, &b.group_of, r);
+            let cc = &p.clusters[0];
+            let inst = QecInstance::from_shared_parts(&p.arena, &cc.cluster, &cc.universe);
+            let s = &mut b.sessions[r];
+            self.expander_for(reqs[r].strategy)
+                .expand_into(&inst, &mut s.iskr, &mut b.outs[0]);
+        }
+
+        // Fill responses in request order (cheap copies; done on the
+        // submitting thread so slot buffers stay session-free).
+        for (i, req) in reqs.iter().enumerate() {
+            let g = &b.groups[b.group_of[i]];
+            let p = g.pipeline.as_ref().expect("group pipeline acquired");
+            let mut resp = lock(&self.responses).pop().unwrap_or_default();
+            resp.begin(p.clusters.len());
+            for (c, cc) in p.clusters.iter().enumerate() {
+                fill_slot(resp.slot(c), cc, p, &b.outs[b.offsets[i] + c], req);
+            }
+            resp.stats = ExpandStats {
+                results: p.arena.size(),
+                candidates: p.arena.num_candidates(),
+                clusters: p.clusters.len(),
+                // Duplicates of a cold representative are served from the
+                // freshly shared build — a hit, exactly as the same
+                // request sequence would report through sequential
+                // `expand` calls.
+                arena_cache_hit: g.hit || i != g.rep,
+                strategy: self.expander_for(req.strategy).name(),
+                cache: g.stats,
+            };
+            out.push(resp);
+        }
+
+        // Drop the pipeline Arcs before pooling the scratch: cached
+        // entries must be evictable, not pinned by idle batch state.
+        for g in batch.groups.iter_mut() {
+            g.pipeline = None;
+        }
+        lock(&self.batches).push(batch);
+    }
+
+    /// The strategy instance serving `strategy`.
+    fn expander_for(&self, strategy: ExpandStrategy) -> &dyn Expander {
+        match strategy {
+            ExpandStrategy::Iskr => &self.iskr,
+            ExpandStrategy::ExactDeltaF => &self.exact,
+            ExpandStrategy::Pebc => &self.pebc,
+        }
     }
 
     fn run(&self, req: &ExpandRequest<'_>, s: &mut SessionScratch, resp: &mut ExpandResponse) {
@@ -172,31 +460,43 @@ impl QecEngine {
             (built, false, CacheStats::default())
         };
 
-        let expander: &dyn Expander = match req.strategy {
-            ExpandStrategy::Iskr => &self.iskr,
-            ExpandStrategy::ExactDeltaF => &self.exact,
-            ExpandStrategy::Pebc => &self.pebc,
-        };
+        let expander = self.expander_for(req.strategy);
         let arena = &pipeline.arena;
         resp.begin(pipeline.clusters.len());
         if pipeline.clusters.len() >= self.config.fanout_min_clusters {
-            // Big k: per-cluster fan-out. Allocates (stripe bookkeeping,
-            // worker scratches) but wins wall-clock when expansion
-            // dominates the request — the common case on cache hits.
+            // Big k: per-cluster fan-out — through the persistent pool
+            // when one is configured, else freshly scoped threads.
+            // Allocates (parts/output bookkeeping) but wins wall-clock
+            // when expansion dominates the request — the common case on
+            // cache hits.
             let parts: Vec<(&ResultSet, &ResultSet)> = pipeline
                 .clusters
                 .iter()
                 .map(|cc| (&cc.cluster, &cc.universe))
                 .collect();
-            let outs = expand_shared_clusters_with(arena, &parts, expander, self.fanout_threads);
+            let outs = match &self.pool {
+                Some(pool) => {
+                    let mut outs = vec![ExpandedQuery::default(); parts.len()];
+                    expand_shared_clusters_pooled_into(
+                        pool,
+                        &self.scratches,
+                        arena,
+                        &parts,
+                        expander,
+                        &mut outs,
+                    );
+                    outs
+                }
+                None => expand_shared_clusters_with(arena, &parts, expander, self.fanout_threads),
+            };
             for (i, (cc, out)) in pipeline.clusters.iter().zip(&outs).enumerate() {
-                fill_slot(resp.slot(i), cc, out, arena);
+                fill_slot(resp.slot(i), cc, &pipeline, out, req);
             }
         } else {
             for (i, cc) in pipeline.clusters.iter().enumerate() {
                 let inst = QecInstance::from_shared_parts(arena, &cc.cluster, &cc.universe);
                 expander.expand_into(&inst, &mut s.iskr, &mut s.expanded);
-                fill_slot(resp.slot(i), cc, &s.expanded, arena);
+                fill_slot(resp.slot(i), cc, &pipeline, &s.expanded, req);
             }
         }
         resp.stats = ExpandStats {
@@ -252,32 +552,58 @@ impl QecEngine {
         let clusters: Vec<CachedCluster> = (0..assignment.num_clusters())
             .map(|c| {
                 let members = assignment.members(c);
-                let cluster = ResultSet::from_indices(n, members.iter().map(|&m| m as usize));
-                CachedCluster {
-                    docs: members.iter().map(|&m| result_docs[m as usize]).collect(),
-                    universe: full.and_not(&cluster),
-                    cluster,
-                }
+                CachedCluster::new(
+                    ResultSet::from_indices(n, members.iter().map(|&m| m as usize)),
+                    &full,
+                )
             })
             .collect();
 
-        CachedPipeline { arena, clusters }
+        CachedPipeline {
+            arena,
+            docs: result_docs,
+            clusters,
+        }
     }
 }
 
-/// Copies one cluster's cached members and expansion output into a
-/// response slot, reusing the slot's buffers.
+/// Resolves request `req`'s shared pipeline out of a batch's group table.
+fn pipeline_of<'g>(groups: &'g [GroupSlot], group_of: &[usize], req: usize) -> &'g CachedPipeline {
+    groups[group_of[req]]
+        .pipeline
+        .as_deref()
+        .expect("group pipeline acquired")
+}
+
+/// Copies one cluster's (possibly paginated) member page and expansion
+/// output into a response slot, reusing the slot's buffers. Member docs
+/// are sliced out of the pipeline-wide doc list through the cluster
+/// bitset; a non-zero `member_offset` jumps straight to the page's first
+/// member through the cluster's `RankIndex` sidecar (`select(offset)`)
+/// instead of scanning the prefix.
 fn fill_slot(
     slot: &mut ClusterExpansion,
     cc: &CachedCluster,
+    pipeline: &CachedPipeline,
     out: &ExpandedQuery,
-    arena: &ExpansionArena,
+    req: &ExpandRequest<'_>,
 ) {
+    let limit = match req.member_limit {
+        0 => usize::MAX,
+        l => l,
+    };
     slot.docs.clear();
-    slot.docs.extend_from_slice(&cc.docs);
+    if req.member_offset == 0 {
+        slot.docs
+            .extend(cc.cluster.iter().take(limit).map(|j| pipeline.docs[j]));
+    } else if let Some(first) = cc.rank.select(&cc.cluster, req.member_offset) {
+        // A page beyond the member count stays empty.
+        slot.docs
+            .extend(cc.cluster.iter_from(first).take(limit).map(|j| pipeline.docs[j]));
+    }
     slot.added.clear();
     slot.added
-        .extend(out.added.iter().map(|&k| arena.candidate(k).term));
+        .extend(out.added.iter().map(|&k| pipeline.arena.candidate(k).term));
     slot.quality = out.quality;
 }
 
@@ -387,7 +713,38 @@ impl EngineBuilder {
         self
     }
 
-    /// Freezes the corpus (if building) and assembles the engine.
+    /// Sets the persistent worker pool's thread count (`0`, the default,
+    /// resolves the machine's parallelism once at build).
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.pool.threads = threads;
+        self
+    }
+
+    /// Enables or disables the persistent worker pool entirely (disabled:
+    /// fan-outs fall back to per-call scoped threads and batches serve
+    /// sequentially).
+    pub fn pool_enabled(mut self, enabled: bool) -> Self {
+        self.config.pool.enabled = enabled;
+        self
+    }
+
+    /// Sets the maximum requests served per inner
+    /// [`expand_batch`](QecEngine::expand_batch) chunk (`0` = unbounded).
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.config.pool.batch_max = batch_max;
+        self
+    }
+
+    /// Sets the scoped-thread worker count of the pool-less fan-out
+    /// fallback (`0`, the default, resolves the machine's parallelism
+    /// once at build).
+    pub fn fanout_threads(mut self, threads: usize) -> Self {
+        self.config.fanout_threads = threads;
+        self
+    }
+
+    /// Freezes the corpus (if building) and assembles the engine,
+    /// spawning the worker pool when enabled.
     pub fn build(self) -> QecEngine {
         let corpus = match self.source {
             Source::Building(b) => b.build(),
@@ -397,19 +754,32 @@ impl EngineBuilder {
         let clusterer = self
             .clusterer
             .unwrap_or_else(|| Box::new(KMeansClusterer(config.kmeans.clone())));
+        // One process-wide parallelism probe feeds both the scoped-thread
+        // fallback and the pool-size default.
+        let parallelism = default_parallelism();
+        let pool = config.pool.enabled.then(|| {
+            WorkerPool::new(match config.pool.threads {
+                0 => parallelism,
+                t => t,
+            })
+        });
         QecEngine {
             iskr: Iskr(config.iskr.clone()),
             exact: ExactDeltaF(config.exact.clone()),
             pebc: Pebc(config.pebc.clone()),
             cache: SharedArenaCache::with_budget(config.cache.capacity, config.cache.max_bytes),
-            fanout_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            fanout_threads: match config.fanout_threads {
+                0 => parallelism,
+                t => t,
+            },
+            pool,
+            scratches: ScratchPool::new(),
             corpus,
             config,
             clusterer,
             sessions: Mutex::new(Vec::new()),
             responses: Mutex::new(Vec::new()),
+            batches: Mutex::new(Vec::new()),
         }
     }
 }

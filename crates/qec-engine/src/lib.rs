@@ -43,7 +43,25 @@
 //! [`EngineBuilder::cache_capacity`] / [`EngineBuilder::cache_enabled`],
 //! and [`ExpandStats::cache`].
 //!
+//! # Pooled, batched execution
+//!
+//! Parallel work runs on a **persistent work-stealing
+//! [`WorkerPool`](qec_core::WorkerPool)** spawned once at engine build
+//! ([`EngineBuilder::pool_threads`], default: the machine's parallelism
+//! probed once per process) instead of per-request `thread::scope`
+//! spawns; disable it ([`EngineBuilder::pool_enabled`]) to fall back to
+//! the scoped-thread path. [`expand_batch`] serves many requests per
+//! call: the batch is **grouped by analysed cache key** (N identical cold
+//! queries build one pipeline), every group's per-cluster expansions are
+//! scheduled as **one flat task set** across the pool, and a warmed
+//! batch/[`recycle`] loop is allocation-free end to end (see
+//! `tests/zero_alloc_batch.rs`). Member lists are served through each
+//! cached cluster's `RankIndex` sidecar, so rank-paginated requests
+//! ([`ExpandRequest::member_offset`] / [`ExpandRequest::member_limit`])
+//! jump straight to the requested page.
+//!
 //! [`expand`]: QecEngine::expand
+//! [`expand_batch`]: QecEngine::expand_batch
 //! [`recycle`]: QecEngine::recycle
 
 pub mod api;
@@ -53,7 +71,7 @@ pub mod engine;
 
 pub use api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
 pub use cache::{BuildTicket, CacheProbe, CacheStats, SharedArenaCache};
-pub use config::{CacheConfig, EngineConfig};
+pub use config::{CacheConfig, EngineConfig, PoolConfig};
 pub use engine::{EngineBuilder, QecEngine};
 
 // Re-export the vocabulary types a facade caller needs, so simple servers

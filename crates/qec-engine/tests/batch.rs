@@ -1,0 +1,253 @@
+//! Behaviour of the batched serving path: `expand_batch` parity with
+//! sequential `expand`, single-build guarantees for duplicate cold keys
+//! (in-batch grouping and cross-thread single-flight), chunking, and the
+//! `RankIndex`-backed member pagination.
+
+use qec_engine::{
+    ClusterExpansion, DocumentSpec, EngineBuilder, ExpandRequest, ExpandResponse, ExpandStrategy,
+    QecEngine,
+};
+
+/// A deterministic two-sense corpus big enough for real clustering.
+fn corpus_docs() -> impl Iterator<Item = DocumentSpec> {
+    (0..60).map(|i| {
+        let body = if i % 2 == 0 {
+            format!("apple tech gadget{} chip{} market", i % 7, i % 5)
+        } else {
+            format!("apple farm orchard{} harvest{} cider", i % 7, i % 5)
+        };
+        DocumentSpec::text("", body)
+    })
+}
+
+fn engine() -> QecEngine {
+    EngineBuilder::new().documents(corpus_docs()).build()
+}
+
+/// A mixed request workload: duplicate keys (including spelling variants
+/// that analyse identically), distinct `k`/`top_k`, different strategies,
+/// and a no-result query.
+fn workload() -> Vec<ExpandRequest<'static>> {
+    vec![
+        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
+        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apples") },
+        ExpandRequest { k_clusters: 3, top_k: 30, ..ExpandRequest::new("farm cider") },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            strategy: ExpandStrategy::Pebc,
+            ..ExpandRequest::new("  APPLE ,")
+        },
+        ExpandRequest::new("zebra"),
+        ExpandRequest { k_clusters: 2, top_k: 20, ..ExpandRequest::new("tech market") },
+        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
+    ]
+}
+
+/// The comparable half of a response: everything except the cache-counter
+/// snapshot (which legitimately differs between serving orders).
+fn essence(r: &ExpandResponse) -> (Vec<ClusterExpansion>, usize, usize, usize, bool, &'static str) {
+    (
+        r.clusters().to_vec(),
+        r.stats.results,
+        r.stats.candidates,
+        r.stats.clusters,
+        r.stats.arena_cache_hit,
+        r.stats.strategy,
+    )
+}
+
+#[test]
+fn expand_batch_matches_sequential_expand_bit_for_bit() {
+    let reqs = workload();
+    // Two engines over the identical corpus: one serves the stream
+    // request by request, the other as one batch.
+    let sequential: Vec<_> = {
+        let e = engine();
+        reqs.iter().map(|r| essence(&e.expand(r))).collect()
+    };
+    let batched = engine().expand_batch(&reqs);
+    assert_eq!(batched.len(), reqs.len());
+    for (i, (resp, want)) in batched.iter().zip(&sequential).enumerate() {
+        assert_eq!(&essence(resp), want, "request {i} diverged");
+    }
+}
+
+#[test]
+fn warm_batches_match_sequential_and_hit_everywhere() {
+    let reqs = workload();
+    let e = engine();
+    // Warm every key, then compare a warmed batch against warmed
+    // sequential responses from the same engine.
+    for r in e.expand_batch(&reqs) {
+        e.recycle(r);
+    }
+    let sequential: Vec<_> = reqs.iter().map(|r| essence(&e.expand(r))).collect();
+    let batched = e.expand_batch(&reqs);
+    for (i, (resp, want)) in batched.iter().zip(&sequential).enumerate() {
+        assert_eq!(&essence(resp), want, "request {i} diverged");
+        assert!(resp.stats.arena_cache_hit, "request {i} must hit when warm");
+    }
+}
+
+#[test]
+fn batch_of_identical_cold_keys_builds_once() {
+    let e = engine();
+    let reqs: Vec<ExpandRequest<'_>> = (0..8)
+        .map(|_| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") })
+        .collect();
+    let resps = e.expand_batch(&reqs);
+    let stats = e.cache_stats();
+    assert_eq!(stats.misses, 1, "one build for eight identical cold requests");
+    assert_eq!(stats.entries, 1);
+    // The representative reports the cold build; every duplicate reports
+    // a hit — exactly as a sequential replay would.
+    assert!(!resps[0].stats.arena_cache_hit);
+    assert!(resps[1..].iter().all(|r| r.stats.arena_cache_hit));
+    for r in &resps[1..] {
+        assert_eq!(r.clusters(), resps[0].clusters(), "duplicates share the build");
+    }
+}
+
+#[test]
+fn concurrent_batches_of_one_cold_key_single_flight_to_one_build() {
+    let e = std::sync::Arc::new(engine());
+    const THREADS: usize = 4;
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let (e, barrier) = (std::sync::Arc::clone(&e), &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let reqs: Vec<ExpandRequest<'_>> = (0..4)
+                    .map(|_| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") })
+                    .collect();
+                let resps = e.expand_batch(&reqs);
+                assert_eq!(resps.len(), 4);
+            });
+        }
+    });
+    assert_eq!(
+        e.cache_stats().misses,
+        1,
+        "one hot key stampeded by {THREADS} batches still builds once"
+    );
+}
+
+#[test]
+fn batch_max_chunking_preserves_results() {
+    let reqs = workload();
+    let whole = engine().expand_batch(&reqs);
+    let chunked = EngineBuilder::new()
+        .documents(corpus_docs())
+        .batch_max(2)
+        .build()
+        .expand_batch(&reqs);
+    assert_eq!(chunked.len(), whole.len());
+    for (i, (a, b)) in chunked.iter().zip(&whole).enumerate() {
+        assert_eq!(a.clusters(), b.clusters(), "request {i} diverged under chunking");
+    }
+}
+
+#[test]
+fn pool_less_engine_serves_batches_sequentially_with_same_results() {
+    let reqs = workload();
+    let pooled = engine().expand_batch(&reqs);
+    let unpooled_engine = EngineBuilder::new()
+        .documents(corpus_docs())
+        .pool_enabled(false)
+        .build();
+    assert_eq!(unpooled_engine.pool_threads(), 0);
+    let unpooled = unpooled_engine.expand_batch(&reqs);
+    for (i, (a, b)) in unpooled.iter().zip(&pooled).enumerate() {
+        assert_eq!(a.clusters(), b.clusters(), "request {i} diverged without a pool");
+    }
+}
+
+#[test]
+fn cache_disabled_batches_rebuild_every_request_like_sequential() {
+    // With the cache disabled, "every request rebuilds" is the contract:
+    // batching must not collapse duplicate keys into one build, and no
+    // request may claim a cache hit — exactly what sequential serving of
+    // the same stream reports.
+    let reqs: Vec<ExpandRequest<'_>> = (0..4)
+        .map(|_| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") })
+        .collect();
+    let uncached = || {
+        EngineBuilder::new()
+            .documents(corpus_docs())
+            .cache_enabled(false)
+            .build()
+    };
+    let sequential: Vec<_> = {
+        let e = uncached();
+        reqs.iter().map(|r| essence(&e.expand(r))).collect()
+    };
+    let batched = uncached().expand_batch(&reqs);
+    for (i, (resp, want)) in batched.iter().zip(&sequential).enumerate() {
+        assert_eq!(&essence(resp), want, "request {i} diverged without a cache");
+        assert!(!resp.stats.arena_cache_hit, "request {i}: no cache, no hit");
+    }
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let e = engine();
+    assert!(e.expand_batch(&[]).is_empty());
+    let mut out = Vec::new();
+    e.expand_batch_into(&[], &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn member_pagination_slices_the_full_member_list() {
+    let e = engine();
+    let base = ExpandRequest { k_clusters: 3, top_k: 40, ..ExpandRequest::new("apple") };
+    let full = e.expand(&base);
+    for (offset, limit) in [(0, 2), (1, 3), (2, 0), (0, 1000), (3, 1)] {
+        let page = e.expand(&ExpandRequest {
+            member_offset: offset,
+            member_limit: limit,
+            ..base.clone()
+        });
+        assert!(
+            page.stats.arena_cache_hit,
+            "pagination must reuse the cached pipeline (offset {offset}, limit {limit})"
+        );
+        assert_eq!(page.clusters().len(), full.clusters().len());
+        for (c, (got, want)) in page.clusters().iter().zip(full.clusters()).enumerate() {
+            let take = if limit == 0 { usize::MAX } else { limit };
+            let expect: Vec<_> =
+                want.docs.iter().skip(offset).take(take).copied().collect();
+            assert_eq!(got.docs, expect, "cluster {c} page (offset {offset}, limit {limit})");
+            // Pagination shapes the member list only — expansion output
+            // is untouched.
+            assert_eq!(got.added, want.added);
+            assert_eq!(got.quality, want.quality);
+        }
+    }
+    // A page starting beyond the member count is empty.
+    let beyond = e.expand(&ExpandRequest { member_offset: 10_000, ..base.clone() });
+    assert!(beyond.clusters().iter().all(|c| c.docs.is_empty()));
+    assert_eq!(beyond.clusters().len(), full.clusters().len());
+}
+
+#[test]
+fn member_pagination_applies_to_batches_too() {
+    let e = engine();
+    let base = ExpandRequest { k_clusters: 3, top_k: 40, ..ExpandRequest::new("apple") };
+    let full = e.expand(&base);
+    let paged = e.expand_batch(&[
+        ExpandRequest { member_offset: 0, member_limit: 2, ..base.clone() },
+        ExpandRequest { member_offset: 2, member_limit: 2, ..base.clone() },
+    ]);
+    for (r, off) in paged.iter().zip([0usize, 2]) {
+        for (got, want) in r.clusters().iter().zip(full.clusters()) {
+            let expect: Vec<_> = want.docs.iter().skip(off).take(2).copied().collect();
+            assert_eq!(got.docs, expect);
+        }
+    }
+    // All three requests (the cold probe + both pages) shared one entry.
+    assert_eq!(e.cache_stats().entries, 1);
+    assert_eq!(e.cache_stats().misses, 1);
+}

@@ -1,0 +1,122 @@
+//! Proof of the batched serving path's zero-allocation claim: once the
+//! shared cache holds the batch's pipeline and the engine's recycled
+//! pools (responses, batch scratch, pool-worker expansion scratches, the
+//! worker deques' span storage) are warm, `expand_batch_into` serves a
+//! batch of cache-hit requests — analysis, grouping, single-flight probe,
+//! flat task-set dispatch across the **persistent worker pool**, response
+//! fill — without touching the heap.
+//!
+//! The counting allocator is process-global, so the armed window counts
+//! pool-worker allocations too — the test covers the whole process, not
+//! just the submitting thread. Warm-up runs the identical batch many
+//! times first: deque capacities, the scratch pool (one warmed
+//! `IskrScratch` per worker; every request analyses to the same key, so
+//! one arena size and no scratch retargets), response buffers and batch
+//! bookkeeping all settle before the window arms. The file holds exactly
+//! one test because a concurrently running second test would contaminate
+//! the global counter.
+
+use qec_engine::{DocumentSpec, EngineBuilder, ExpandRequest, ExpandResponse};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warmed_expand_batch_performs_zero_heap_allocations() {
+    let engine = EngineBuilder::new()
+        .documents((0..60).map(|i| {
+            let body = if i % 2 == 0 {
+                format!("apple tech gadget{} chip{} market", i % 7, i % 5)
+            } else {
+                format!("apple farm orchard{} harvest{} cider", i % 7, i % 5)
+            };
+            DocumentSpec::text("", body)
+        }))
+        .pool_threads(2)
+        .build();
+    assert_eq!(engine.pool_threads(), 2);
+
+    // Three spellings of one analysed key ("appl"): the batch exercises
+    // grouping (3 requests, 1 group, 1 build) while keeping a single
+    // arena size so warmed expansion scratches never retarget.
+    let reqs: Vec<ExpandRequest<'_>> = ["apple", "apples", "  APPLE ,"]
+        .into_iter()
+        .map(|query| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new(query) })
+        .collect();
+
+    let mut responses: Vec<ExpandResponse> = Vec::new();
+    let recycle_all = |engine: &qec_engine::QecEngine, out: &mut Vec<ExpandResponse>| {
+        for r in out.drain(..) {
+            engine.recycle(r);
+        }
+    };
+
+    // Warm-up: first batch builds + publishes the pipeline; generous
+    // repetition lets every pool worker hold (and warm) an expansion
+    // scratch and every deque reach its steady-state capacity.
+    engine.expand_batch_into(&reqs, &mut responses);
+    assert!(
+        responses
+            .iter()
+            .flat_map(|r| r.clusters())
+            .any(|c| !c.added.is_empty()),
+        "expansion must actually add keywords for this test to mean anything"
+    );
+    let expected: Vec<Vec<_>> = responses.iter().map(|r| r.clusters().to_vec()).collect();
+    recycle_all(&engine, &mut responses);
+    for _ in 0..150 {
+        engine.expand_batch_into(&reqs, &mut responses);
+        assert!(responses.iter().all(|r| r.stats.arena_cache_hit));
+        recycle_all(&engine, &mut responses);
+    }
+
+    // Armed runs: the whole batch loop must stay off the heap.
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        engine.expand_batch_into(&reqs, &mut responses);
+        for (r, want) in responses.iter().zip(&expected) {
+            assert!(r.stats.arena_cache_hit);
+            assert!(r.clusters() == *want, "warmed batch serving stays deterministic");
+        }
+        recycle_all(&engine, &mut responses);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        counted, 0,
+        "warmed expand_batch allocated: {counted} heap allocations counted"
+    );
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "one cold build for one analysed key");
+    assert_eq!(stats.entries, 1);
+}
