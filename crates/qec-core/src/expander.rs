@@ -21,9 +21,10 @@
 //! state, so a serving loop that reuses both stays on the zero-allocation
 //! discipline of the underlying kernels.
 
-use crate::fmeasure::{fmeasure_refine_into, FMeasureConfig};
-use crate::iskr::{iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
-use crate::pebc::{pebc_into, PebcConfig};
+use crate::cancel::CancelToken;
+use crate::fmeasure::{fmeasure_refine_into_cancellable, FMeasureConfig};
+use crate::iskr::{iskr_into_cancellable, ExpandedQuery, IskrConfig, IskrScratch};
+use crate::pebc::{pebc_into_cancellable, PebcConfig};
 use crate::problem::QecInstance;
 
 /// A pluggable per-cluster expansion strategy.
@@ -53,6 +54,45 @@ pub trait Expander: Sync {
         self.expand_into(inst, &mut scratch, &mut out);
         out
     }
+
+    /// [`expand_into`](Self::expand_into) with cooperative cancellation:
+    /// returns `true` when the expansion ran to completion, `false` when
+    /// `cancel` tripped mid-run — `out` is then unspecified and must be
+    /// discarded (the no-torn-results contract of [`crate::cancel`]). An
+    /// untripped run writes exactly what `expand_into` would. The default
+    /// implementation ignores the token (a strategy that never polls is
+    /// simply uncancellable, not wrong); the built-in strategies all
+    /// override it.
+    fn expand_cancellable(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+        cancel: &CancelToken,
+    ) -> bool {
+        let _ = cancel;
+        self.expand_into(inst, scratch, out);
+        true
+    }
+}
+
+/// Shared completion plumbing of the built-in strategies' cancellable
+/// overrides: a finished kernel run copies quality + added keywords into
+/// `out`, a cancelled one leaves `out` untouched and reports `false`.
+fn finish_cancellable(
+    quality: Option<crate::QueryQuality>,
+    scratch: &IskrScratch,
+    out: &mut ExpandedQuery,
+) -> bool {
+    match quality {
+        Some(q) => {
+            out.quality = q;
+            out.added.clear();
+            out.added.extend_from_slice(scratch.added());
+            true
+        }
+        None => false,
+    }
 }
 
 /// [`Expander`] wrapping ISKR ([`mod@crate::iskr`]).
@@ -70,9 +110,19 @@ impl Expander for Iskr {
         scratch: &mut IskrScratch,
         out: &mut ExpandedQuery,
     ) {
-        out.quality = iskr_into(inst, &self.0, scratch);
-        out.added.clear();
-        out.added.extend_from_slice(scratch.added());
+        let done = self.expand_cancellable(inst, scratch, out, &CancelToken::none());
+        debug_assert!(done, "inert token never cancels");
+    }
+
+    fn expand_cancellable(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+        cancel: &CancelToken,
+    ) -> bool {
+        let q = iskr_into_cancellable(inst, &self.0, scratch, cancel);
+        finish_cancellable(q, scratch, out)
     }
 }
 
@@ -91,9 +141,19 @@ impl Expander for ExactDeltaF {
         scratch: &mut IskrScratch,
         out: &mut ExpandedQuery,
     ) {
-        out.quality = fmeasure_refine_into(inst, &self.0, scratch);
-        out.added.clear();
-        out.added.extend_from_slice(scratch.added());
+        let done = self.expand_cancellable(inst, scratch, out, &CancelToken::none());
+        debug_assert!(done, "inert token never cancels");
+    }
+
+    fn expand_cancellable(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+        cancel: &CancelToken,
+    ) -> bool {
+        let q = fmeasure_refine_into_cancellable(inst, &self.0, scratch, cancel);
+        finish_cancellable(q, scratch, out)
     }
 }
 
@@ -112,9 +172,19 @@ impl Expander for Pebc {
         scratch: &mut IskrScratch,
         out: &mut ExpandedQuery,
     ) {
-        out.quality = pebc_into(inst, &self.0, scratch);
-        out.added.clear();
-        out.added.extend_from_slice(scratch.added());
+        let done = self.expand_cancellable(inst, scratch, out, &CancelToken::none());
+        debug_assert!(done, "inert token never cancels");
+    }
+
+    fn expand_cancellable(
+        &self,
+        inst: &QecInstance<'_>,
+        scratch: &mut IskrScratch,
+        out: &mut ExpandedQuery,
+        cancel: &CancelToken,
+    ) -> bool {
+        let q = pebc_into_cancellable(inst, &self.0, scratch, cancel);
+        finish_cancellable(q, scratch, out)
     }
 }
 

@@ -22,6 +22,7 @@
 //! the ISKR-vs-exact gap `bench_pebc` measures is pure algorithmic cost,
 //! not allocator noise.
 
+use crate::cancel::CancelToken;
 use crate::iskr::{results_without, ExpandedQuery, IskrScratch};
 use crate::metrics::{fmeasure, QueryQuality};
 use crate::problem::{CandId, QecInstance};
@@ -69,6 +70,21 @@ pub fn fmeasure_refine_into(
     config: &FMeasureConfig,
     scratch: &mut IskrScratch,
 ) -> QueryQuality {
+    fmeasure_refine_into_cancellable(inst, config, scratch, &CancelToken::none())
+        .expect("inert token never cancels")
+}
+
+/// [`fmeasure_refine_into`] with cooperative cancellation: `cancel` is
+/// polled once per greedy iteration (each of which revalues every
+/// candidate — the natural granularity for the exact baseline); a
+/// tripped token returns `None` (no torn result — see [`crate::cancel`]).
+/// An untripped run is bit-identical to [`fmeasure_refine_into`].
+pub fn fmeasure_refine_into_cancellable(
+    inst: &QecInstance<'_>,
+    config: &FMeasureConfig,
+    scratch: &mut IskrScratch,
+    cancel: &CancelToken,
+) -> Option<QueryQuality> {
     let arena = inst.arena;
     let n_cands = arena.num_candidates();
     scratch.ensure(arena.size(), n_cands);
@@ -94,6 +110,9 @@ pub fn fmeasure_refine_into(
     let mut current_f = f_of(s_rc0, s_r0);
 
     for _ in 0..config.max_iters {
+        if cancel.is_cancelled() {
+            return None;
+        }
         // Evaluate every candidate move exactly; each valuation is a
         // single fused sweep yielding S(R') and S(R' ∩ C) together.
         let mut best: Option<(usize, f64)> = None;
@@ -136,7 +155,7 @@ pub fn fmeasure_refine_into(
     added.clear();
     added.extend_from_slice(query);
     added.sort_unstable();
-    inst.quality_of(r)
+    Some(inst.quality_of(r))
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 //! `zero_alloc` integration test).
 
 use crate::bitset::ResultSet;
+use crate::cancel::CancelToken;
 use crate::metrics::QueryQuality;
 use crate::problem::{CandId, QecInstance};
 
@@ -181,6 +182,23 @@ pub fn iskr_into(
     config: &IskrConfig,
     scratch: &mut IskrScratch,
 ) -> QueryQuality {
+    iskr_into_cancellable(inst, config, scratch, &CancelToken::none())
+        .expect("inert token never cancels")
+}
+
+/// [`iskr_into`] with cooperative cancellation: `cancel` is polled once
+/// per greedy iteration (before the move search), and a tripped token
+/// returns `None` with the scratch in a valid-but-unspecified state — the
+/// no-torn-results contract of [`crate::cancel`]. An untripped run is
+/// bit-identical to [`iskr_into`] (the poll does not affect the
+/// refinement), and the inert token adds only two branch tests per
+/// iteration, preserving the zero-allocation discipline.
+pub fn iskr_into_cancellable(
+    inst: &QecInstance<'_>,
+    config: &IskrConfig,
+    scratch: &mut IskrScratch,
+    cancel: &CancelToken,
+) -> Option<QueryQuality> {
     let arena = inst.arena;
     let n_cands = arena.num_candidates();
     scratch.ensure(arena.size(), n_cands);
@@ -204,6 +222,9 @@ pub fn iskr_into(
     }
 
     for _ in 0..config.max_iters {
+        if cancel.is_cancelled() {
+            return None;
+        }
         // Best move by value; ties on lower id.
         let mut best: Option<(usize, f64)> = None;
         for (i, mv) in values[..n_cands].iter().enumerate() {
@@ -296,7 +317,7 @@ pub fn iskr_into(
     added.clear();
     added.extend_from_slice(query);
     added.sort_unstable();
-    inst.quality_of(r)
+    Some(inst.quality_of(r))
 }
 
 /// Writes `R(uq ∪ query \ skip)` into `out` without allocating.

@@ -18,6 +18,10 @@
 //!   valuation, no maintenance, no removals.
 //! * [`expander`] — the [`Expander`] strategy trait unifying the three
 //!   algorithms behind one interface (what `qec-engine` serves through).
+//! * [`cancel`] — cooperative cancellation ([`CancelToken`]) threaded
+//!   through the kernels' `*_cancellable` entry points; a tripped deadline
+//!   yields `None` rather than a torn result, which is what lets the
+//!   serving layer degrade a response to its finished prefix.
 //! * [`parallel`] — fan-out of independent per-cluster expansions
 //!   (the offline-build substitute for rayon), generic over [`Expander`],
 //!   with both a scoped-thread backend and a persistent-pool backend.
@@ -26,6 +30,7 @@
 //!   queue, park/unpark idling, and a zero-allocation indexed batch mode.
 
 pub mod bitset;
+pub mod cancel;
 pub mod expander;
 pub mod fmeasure;
 pub mod iskr;
@@ -39,15 +44,20 @@ pub use bitset::ResultSet;
 // The shared kernel crate's own names, for callers that want the
 // positional-query sidecar or to name the type universe-neutrally.
 pub use qec_bitset::{Bitset, RankIndex};
+pub use cancel::{CancelSignal, CancelToken};
 pub use expander::{ExactDeltaF, Expander, Iskr, Pebc};
-pub use fmeasure::{fmeasure_refine, fmeasure_refine_into, FMeasureConfig};
-pub use iskr::{iskr, iskr_into, ExpandedQuery, IskrConfig, IskrScratch};
+pub use fmeasure::{
+    fmeasure_refine, fmeasure_refine_into, fmeasure_refine_into_cancellable, FMeasureConfig,
+};
+pub use iskr::{
+    iskr, iskr_into, iskr_into_cancellable, ExpandedQuery, IskrConfig, IskrScratch,
+};
 pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
 pub use parallel::{
     expand_clusters, expand_clusters_pooled, expand_clusters_with, expand_clusters_with_threads,
-    expand_shared_clusters_pooled, expand_shared_clusters_pooled_into,
-    expand_shared_clusters_with, DisjointSlots, ScratchPool,
+    expand_shared_clusters_pooled, expand_shared_clusters_pooled_cancellable,
+    expand_shared_clusters_pooled_into, expand_shared_clusters_with, DisjointSlots, ScratchPool,
 };
 pub use pool::{default_parallelism, WorkerPool};
-pub use pebc::{pebc, pebc_into, PebcConfig};
+pub use pebc::{pebc, pebc_into, pebc_into_cancellable, PebcConfig};
 pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance, SetSlot};

@@ -143,18 +143,33 @@ fn expand_one(
     out
 }
 
-/// A shared pool of [`IskrScratch`]es for pool-backed expansion: tasks
-/// acquire a scratch, expand, and release it, so a long-lived serving
+/// A shared pool of reusable scratch values for pool-backed work: tasks
+/// acquire a scratch, run, and release it, so a long-lived serving
 /// process converges on one warmed scratch per concurrently running task
 /// instead of building a fresh one per request. Acquire/release are a
 /// mutex-guarded `Vec` pop/push — allocation-free once the pool has grown
 /// to its steady-state size.
-#[derive(Debug, Default)]
-pub struct ScratchPool {
-    inner: Mutex<Vec<IskrScratch>>,
+///
+/// Defaults to [`IskrScratch`] (the expansion fan-out's working state),
+/// but any `Default` type pools the same way — the engine also keeps a
+/// `ScratchPool<SearchScratch>` so cold pipeline builds scheduled on the
+/// worker pool reuse warmed search buffers.
+#[derive(Debug)]
+pub struct ScratchPool<T = IskrScratch> {
+    inner: Mutex<Vec<T>>,
 }
 
-impl ScratchPool {
+// Manual impl: `derive(Default)` would require `T: Default` even though an
+// empty pool needs no values.
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Default> ScratchPool<T> {
     /// An empty pool; scratches are created on first acquire and retained
     /// on release.
     pub fn new() -> Self {
@@ -162,16 +177,18 @@ impl ScratchPool {
     }
 
     /// Pops a pooled scratch, or creates a fresh one when empty.
-    pub fn acquire(&self) -> IskrScratch {
+    pub fn acquire(&self) -> T {
         self.lock().pop().unwrap_or_default()
     }
 
-    /// Returns a scratch for later reuse.
-    pub fn release(&self, scratch: IskrScratch) {
+    /// Returns a scratch for later reuse. A scratch left in an unknown
+    /// state (e.g. its user panicked mid-run) should be dropped instead —
+    /// the pool hands scratches out as-is.
+    pub fn release(&self, scratch: T) {
         self.lock().push(scratch);
     }
 
-    fn lock(&self) -> MutexGuard<'_, Vec<IskrScratch>> {
+    fn lock(&self) -> MutexGuard<'_, Vec<T>> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -258,6 +275,44 @@ pub fn expand_shared_clusters_pooled_into(
     assert_eq!(out.len(), parts.len(), "one output slot per cluster");
     expand_pooled_into(pool, scratches, expander, out, &|i| {
         QecInstance::from_shared_parts(arena, parts[i].0, parts[i].1)
+    });
+}
+
+/// [`expand_shared_clusters_pooled_into`] with cooperative cancellation —
+/// the degradable serving fan-out. Cluster `i`'s completion is recorded in
+/// `done[i]`: `true` means `out[i]` holds its full expansion (bit-identical
+/// to the uncancelled run), `false` means the token tripped before that
+/// cluster finished and `out[i]` must be ignored (no torn results — see
+/// [`crate::cancel`]). A tripped token short-circuits still-pending
+/// clusters without running their kernels. With an inert token this is
+/// exactly [`expand_shared_clusters_pooled_into`] plus a `done` fill.
+#[allow(clippy::too_many_arguments)]
+pub fn expand_shared_clusters_pooled_cancellable(
+    pool: &WorkerPool,
+    scratches: &ScratchPool,
+    arena: &ExpansionArena,
+    parts: &[(&ResultSet, &ResultSet)],
+    expander: &dyn Expander,
+    out: &mut [ExpandedQuery],
+    done: &mut [bool],
+    cancel: &crate::cancel::CancelToken,
+) {
+    assert_eq!(out.len(), parts.len(), "one output slot per cluster");
+    assert_eq!(done.len(), parts.len(), "one done flag per cluster");
+    let n = parts.len();
+    let slots = DisjointSlots::new(out);
+    let flags = DisjointSlots::new(done);
+    pool.run_indexed(n, &|i| {
+        // SAFETY: `run_indexed` hands each index to exactly one task.
+        let (slot, flag) = unsafe { (slots.get(i), flags.get(i)) };
+        if cancel.is_cancelled() {
+            *flag = false;
+            return;
+        }
+        let mut scratch = scratches.acquire();
+        let inst = QecInstance::from_shared_parts(arena, parts[i].0, parts[i].1);
+        *flag = expander.expand_cancellable(&inst, &mut scratch, slot, cancel);
+        scratches.release(scratch);
     });
 }
 
@@ -358,6 +413,53 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn cancellable_pooled_fanout_matches_when_inert_and_degrades_when_tripped() {
+        use crate::cancel::CancelToken;
+        use crate::pool::WorkerPool;
+        let (arena, clusters) = arena_with_clusters(96, 6);
+        let full = ResultSet::full(arena.size());
+        let universes: Vec<ResultSet> = clusters.iter().map(|c| full.and_not(c)).collect();
+        let parts: Vec<(&ResultSet, &ResultSet)> = clusters.iter().zip(&universes).collect();
+        let strategy = Iskr(IskrConfig::default());
+        let pool = WorkerPool::new(3);
+        let scratches = ScratchPool::new();
+
+        let expected =
+            expand_shared_clusters_pooled(&pool, &scratches, &arena, &parts, &strategy);
+        let mut out = vec![ExpandedQuery::default(); parts.len()];
+        let mut done = vec![false; parts.len()];
+        expand_shared_clusters_pooled_cancellable(
+            &pool,
+            &scratches,
+            &arena,
+            &parts,
+            &strategy,
+            &mut out,
+            &mut done,
+            &CancelToken::none(),
+        );
+        assert!(done.iter().all(|&d| d), "inert token completes everything");
+        assert_eq!(out, expected);
+
+        // A pre-tripped token completes nothing and writes nothing.
+        let (token, signal) = CancelToken::manual();
+        signal.cancel();
+        let stale: Vec<ExpandedQuery> = out.clone();
+        expand_shared_clusters_pooled_cancellable(
+            &pool,
+            &scratches,
+            &arena,
+            &parts,
+            &strategy,
+            &mut out,
+            &mut done,
+            &token,
+        );
+        assert!(done.iter().all(|&d| !d), "tripped token completes nothing");
+        assert_eq!(out, stale, "cancelled tasks leave slots untouched");
     }
 
     #[test]

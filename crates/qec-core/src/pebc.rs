@@ -28,9 +28,16 @@
 //! scratch makes [`pebc_into`] allocation-free (the ranking sort is an
 //! in-place `sort_unstable_by` over the reusable order buffer).
 
+use crate::cancel::CancelToken;
 use crate::iskr::{add_value, ExpandedQuery, IskrScratch};
 use crate::metrics::QueryQuality;
 use crate::problem::{CandId, QecInstance};
+
+/// How many candidate valuations PEBC runs between cancellation polls:
+/// the valuation pass is the bulk of a PEBC run, so polling only at the
+/// loop ends would make big arenas effectively uncancellable, while
+/// polling every candidate would read the clock far too often.
+const CANCEL_STRIDE: usize = 64;
 
 /// Configuration for [`pebc`].
 #[derive(Debug, Clone)]
@@ -70,6 +77,21 @@ pub fn pebc_into(
     config: &PebcConfig,
     scratch: &mut IskrScratch,
 ) -> QueryQuality {
+    pebc_into_cancellable(inst, config, scratch, &CancelToken::none())
+        .expect("inert token never cancels")
+}
+
+/// [`pebc_into`] with cooperative cancellation: `cancel` is polled every
+/// `CANCEL_STRIDE` candidates of the valuation pass and once per added
+/// keyword of the application sweep; a tripped token returns `None` (no
+/// torn result — see [`crate::cancel`]). An untripped run is
+/// bit-identical to [`pebc_into`].
+pub fn pebc_into_cancellable(
+    inst: &QecInstance<'_>,
+    config: &PebcConfig,
+    scratch: &mut IskrScratch,
+    cancel: &CancelToken,
+) -> Option<QueryQuality> {
     let arena = inst.arena;
     let n_cands = arena.num_candidates();
     scratch.ensure(arena.size(), n_cands);
@@ -78,6 +100,9 @@ pub fn pebc_into(
     // One-shot static valuation: identical to ISKR's initial pass, never
     // refreshed afterwards.
     for (i, v) in scratch.values[..n_cands].iter_mut().enumerate() {
+        if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+            return None;
+        }
         *v = add_value(inst, &scratch.r, CandId(i as u32));
     }
 
@@ -98,6 +123,9 @@ pub fn pebc_into(
     scratch.added.clear();
     let weights = &arena.weights;
     for &i in &scratch.order {
+        if cancel.is_cancelled() {
+            return None;
+        }
         if scratch.added.len() >= config.max_keywords {
             break;
         }
@@ -125,7 +153,7 @@ pub fn pebc_into(
     }
 
     scratch.added.sort_unstable();
-    inst.quality_of(&scratch.r)
+    Some(inst.quality_of(&scratch.r))
 }
 
 #[cfg(test)]

@@ -177,39 +177,60 @@ impl PoolShared {
                 // so one bad job cannot take a worker down.
                 let _ = catch_unwind(AssertUnwindSafe(job));
             }
-            Task::Span {
-                batch,
-                mut start,
-                mut end,
-            } => {
+            Task::Span { batch, start, end } => {
                 // SAFETY: spans only exist while their batch's `pending`
                 // covers them (see `Task`'s Send justification).
                 let b = unsafe { &*batch };
-                while start < end {
-                    if end - start > 1 {
+                // Abort guard: if anything below unwinds past the per-index
+                // catch (allocator failure in `push_back`, an injected
+                // fault), the guard's Drop accounts for the indices this
+                // span still owns so the submitter can never hang on
+                // `pending`. Defused by the loop driving `start` up to
+                // `end`.
+                let mut guard = SpanAbort {
+                    shared: self,
+                    batch,
+                    start,
+                    end,
+                };
+                while guard.start < guard.end {
+                    if guard.end - guard.start > 1 {
                         // Split: keep the lower half, expose the upper
                         // half to thieves (and to our own later pops).
-                        let mid = start + (end - start) / 2;
+                        let mid = guard.start + (guard.end - guard.start) / 2;
                         self.lock(&self.deques[id]).push_back(Task::Span {
                             batch,
                             start: mid,
-                            end,
+                            end: guard.end,
                         });
+                        // The queue owns [mid, end) now; shrink the guard
+                        // before anything else can unwind.
+                        guard.end = mid;
                         self.wake_if_parked();
-                        end = mid;
                     } else {
+                        let i = guard.start;
                         // SAFETY: `f` outlives the batch (erased borrow;
                         // the submitter blocks until `pending == 0`).
                         let f = unsafe { &*b.f };
-                        if catch_unwind(AssertUnwindSafe(|| f(start))).is_err() {
+                        let completed = catch_unwind(AssertUnwindSafe(|| {
+                            #[cfg(feature = "failpoints")]
+                            if qec_failpoint::check("pool.task").is_err() {
+                                return false;
+                            }
+                            f(i);
+                            true
+                        }));
+                        if !matches!(completed, Ok(true)) {
                             b.panicked.store(true, Ordering::Release);
                         }
-                        start += 1;
+                        guard.start += 1;
                         if b.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                             // Last index of the whole batch: wake the
                             // submitter. `b` must not be touched after
                             // this point — the submitter may free it as
-                            // soon as it observes `pending == 0`.
+                            // soon as it observes `pending == 0`. (The
+                            // guard is exhausted here: a zero batch-wide
+                            // `pending` means this span has none left.)
                             let _g = self.lock(&self.done_mutex);
                             self.done_cv.notify_all();
                             return;
@@ -227,7 +248,11 @@ impl PoolShared {
             // keeps us awake.
             let seen = *self.lock(&self.epoch);
             if let Some(task) = self.find_task(id) {
-                self.run_task(id, task);
+                // Belt-and-braces: `run_task` already catches task panics,
+                // but an unwind from its own bookkeeping must not kill the
+                // worker either — a pool thread dying silently would strand
+                // every span it would have stolen.
+                let _ = catch_unwind(AssertUnwindSafe(|| self.run_task(id, task)));
                 continue;
             }
             if self.shutdown.load(Ordering::Acquire) {
@@ -244,6 +269,40 @@ impl PoolShared {
                 }
                 self.sleepers.fetch_sub(1, Ordering::Relaxed);
             }
+        }
+    }
+}
+
+/// Unwind-accounting guard for one in-flight span: `[start, end)` are the
+/// indices this worker still owes the batch. Normal execution drives
+/// `start` up to `end` (and decrements `pending` index by index), leaving
+/// the Drop a no-op; an unwind mid-span instead lands here, where the
+/// unexecuted remainder is subtracted from `pending` in one step, the
+/// batch is flagged panicked, and the submitter is woken if that was the
+/// last of it. Without this, a rare unwind in span bookkeeping (allocator
+/// failure, injected fault) would leave `pending` stuck and the submitter
+/// parked forever.
+struct SpanAbort<'a> {
+    shared: &'a PoolShared,
+    batch: *const BatchState,
+    start: usize,
+    end: usize,
+}
+
+impl Drop for SpanAbort<'_> {
+    fn drop(&mut self) {
+        let remaining = self.end - self.start;
+        if remaining == 0 {
+            return;
+        }
+        // SAFETY: the guard still owns `remaining` unexecuted indices, so
+        // `pending >= remaining > 0` and the submitter is still blocked —
+        // the batch is alive.
+        let b = unsafe { &*self.batch };
+        b.panicked.store(true, Ordering::Release);
+        if b.pending.fetch_sub(remaining, Ordering::AcqRel) == remaining {
+            let _g = self.shared.lock(&self.shared.done_mutex);
+            self.shared.done_cv.notify_all();
         }
     }
 }
@@ -428,6 +487,32 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_task_fault_poisons_the_batch_not_the_pool() {
+        let pool = WorkerPool::new(2);
+        let fp = qec_failpoint::arm_times("pool.task", qec_failpoint::FailAction::Error, 1);
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(16, &|_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "injected fault surfaces as the batch panic");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            15,
+            "exactly the faulted index was skipped"
+        );
+        drop(fp);
+        // The pool took no damage: a clean batch completes fully.
+        let again = AtomicUsize::new(0);
+        pool.run_indexed(16, &|_| {
+            again.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again.load(Ordering::Relaxed), 16);
     }
 
     #[test]

@@ -9,11 +9,71 @@
 //! warmed [`expand`](crate::QecEngine::expand) run without heap
 //! allocation.
 
-use qec_core::QueryQuality;
+use std::time::{Duration, Instant};
+
+use qec_core::{CancelToken, QueryQuality};
 use qec_index::{DocId, QuerySemantics};
 use qec_text::TermId;
 
 use crate::cache::CacheStats;
+
+/// Why the engine refused or could not finish a request. Returned by the
+/// fallible serving entry points
+/// ([`try_expand`](crate::QecEngine::try_expand) /
+/// [`try_expand_batch`](crate::QecEngine::try_expand_batch)).
+///
+/// The split between *errors* and *degradation* is deliberate: a request
+/// whose pipeline was available but whose deadline tripped mid-expansion
+/// still returns `Ok` with [`ExpandStats::degraded`] set and the finished
+/// clusters intact; an error means the engine produced **nothing** for the
+/// request — it was shed at admission, its deadline expired before a
+/// pipeline existed, or its pipeline build/expansion failed outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Load shedding: the engine was already serving
+    /// `max_in_flight` requests when this one arrived. Retry later (or
+    /// against another replica); nothing was built or cached for it.
+    Overloaded {
+        /// Requests in flight when this one was refused.
+        in_flight: usize,
+        /// The configured admission bound it hit.
+        max_in_flight: usize,
+    },
+    /// The request's deadline expired before a pipeline was available —
+    /// at admission, or while waiting on another request's in-flight build
+    /// of the same cache key. (A deadline tripping *after* the pipeline is
+    /// available degrades the response instead; see [`ExpandStats::degraded`].)
+    DeadlineExceeded,
+    /// Building the pipeline (retrieve → rank → cluster → arena) for this
+    /// request's cache key panicked or hit an injected fault. Recent
+    /// failures are memoized briefly, so a poisoned key degrades to fast
+    /// per-caller errors instead of a rebuild stampede.
+    BuildFailed,
+    /// A per-cluster expansion task panicked. Sibling requests of the same
+    /// batch are unaffected.
+    ExpansionFailed,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded {
+                in_flight,
+                max_in_flight,
+            } => write!(
+                f,
+                "engine overloaded: {in_flight} requests in flight (max {max_in_flight})"
+            ),
+            Self::DeadlineExceeded => {
+                write!(f, "deadline expired before a pipeline was available")
+            }
+            Self::BuildFailed => write!(f, "pipeline build failed"),
+            Self::ExpansionFailed => write!(f, "cluster expansion failed"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Which [`Expander`](qec_core::Expander) strategy serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +132,23 @@ pub struct ExpandRequest<'q> {
     /// Rank-based pagination: keep at most this many member documents per
     /// cluster (`0` keeps every member from `member_offset` on).
     pub member_limit: usize,
+    /// Absolute deadline for this request. Once it passes, un-started
+    /// cluster expansions are skipped and the response is returned
+    /// **degraded** (finished clusters only, [`ExpandStats::degraded`]
+    /// set); a request whose deadline has already expired at admission —
+    /// or expires while waiting on another caller's in-flight build — is
+    /// refused with [`EngineError::DeadlineExceeded`]. `None` means no
+    /// deadline. Combined with [`timeout`](Self::timeout) by taking the
+    /// earlier of the two.
+    pub deadline: Option<Instant>,
+    /// Relative cost budget: resolved to `now + timeout` at admission and
+    /// then behaves exactly like [`deadline`](Self::deadline). `None`
+    /// means no budget.
+    pub timeout: Option<Duration>,
+    /// External cancellation (client disconnect, shutdown): a tripped
+    /// token degrades the response the same way a passed deadline does.
+    /// Defaults to the inert token.
+    pub cancel: CancelToken,
 }
 
 impl<'q> ExpandRequest<'q> {
@@ -87,6 +164,18 @@ impl<'q> ExpandRequest<'q> {
             strategy: ExpandStrategy::Iskr,
             member_offset: 0,
             member_limit: 0,
+            deadline: None,
+            timeout: None,
+            cancel: CancelToken::none(),
+        }
+    }
+
+    /// The effective deadline as of `now`: the earlier of
+    /// [`deadline`](Self::deadline) and `now + timeout`.
+    pub(crate) fn effective_deadline(&self, now: Instant) -> Option<Instant> {
+        match (self.deadline, self.timeout.map(|t| now + t)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 }
@@ -125,6 +214,14 @@ pub struct ExpandStats {
     /// [`Expander::name`](qec_core::Expander::name) of the serving
     /// strategy.
     pub strategy: &'static str,
+    /// `true` when the request's deadline (or cancellation token) tripped
+    /// mid-expansion: [`clusters`](ExpandResponse::clusters) holds only
+    /// the expansions that finished in time — a **prefix** of what the
+    /// undegraded response would contain, each entry bit-identical to its
+    /// undegraded counterpart (cancelled clusters are dropped whole, never
+    /// half-refined). [`clusters`](ExpandStats::clusters) counts the kept
+    /// prefix.
+    pub degraded: bool,
     /// Snapshot of the shared cache's cumulative hit/miss/eviction
     /// counters and occupancy, taken after this request's probe.
     pub cache: CacheStats,
@@ -162,5 +259,13 @@ impl ExpandResponse {
     pub(crate) fn slot(&mut self, i: usize) -> &mut ClusterExpansion {
         debug_assert!(i < self.used);
         &mut self.slots[i]
+    }
+
+    /// Shrinks the live prefix to `n` slots — how a degraded response
+    /// drops the clusters its deadline cut off. The truncated slots keep
+    /// their buffers (recycling discipline unchanged).
+    pub(crate) fn retain_live(&mut self, n: usize) {
+        debug_assert!(n <= self.used);
+        self.used = n;
     }
 }

@@ -65,6 +65,7 @@
 
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use qec_core::{ExpansionArena, RankIndex, ResultSet};
 use qec_index::{DocId, QuerySemantics};
@@ -209,6 +210,10 @@ pub struct CacheStats {
     pub bytes_in_use: usize,
     /// Byte budget before LRU eviction (`0` = unbounded).
     pub max_bytes: usize,
+    /// Pipeline builds that failed (panicked builder, injected fault) and
+    /// were memoized so concurrent and near-future requests for the same
+    /// key fail fast instead of stampeding rebuilds.
+    pub build_failures: u64,
 }
 
 impl CacheStats {
@@ -278,14 +283,26 @@ impl BuildLatch {
         self.cv.notify_all();
     }
 
-    /// Blocks until the builder publishes or abandons; returns the final
-    /// state.
-    fn wait(&self) -> BuildState {
+    /// Blocks until the builder publishes or abandons, bounded by an
+    /// optional deadline: `None` means the deadline passed while the
+    /// builder was still building (the waiter gives up; the build itself
+    /// continues unaffected).
+    fn wait_deadline(&self, deadline: Option<Instant>) -> Option<BuildState> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while *st == BuildState::Building {
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            match deadline {
+                None => st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let remaining = d.checked_duration_since(Instant::now())?;
+                    st = self
+                        .cv
+                        .wait_timeout(st, remaining)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
         }
-        *st
+        Some(*st)
     }
 }
 
@@ -297,6 +314,16 @@ struct Building {
     latch: Arc<BuildLatch>,
 }
 
+/// One memoized build failure: probes for `key` before `until` fail fast
+/// with [`CacheProbe::Failed`] instead of re-running a build that just
+/// proved poisonous. A successful publish for the key clears the memo.
+#[derive(Debug)]
+struct FailedBuild {
+    hash: u64,
+    key: OwnedKey,
+    until: Instant,
+}
+
 #[derive(Debug, Default)]
 struct Lru {
     slots: Vec<Option<Entry>>,
@@ -305,6 +332,8 @@ struct Lru {
     /// Keys with a build in flight (single-flight registry; a handful at
     /// most, so a linear scan beats bucket bookkeeping).
     building: Vec<Building>,
+    /// Recently failed builds (failure memos; pruned lazily on probe).
+    failed: Vec<FailedBuild>,
     head: usize,
     tail: usize,
     len: usize,
@@ -312,6 +341,7 @@ struct Lru {
     hits: u64,
     misses: u64,
     evictions: u64,
+    build_failures: u64,
 }
 
 /// The engine-wide, thread-safe arena cache. See the module docs for the
@@ -321,6 +351,8 @@ pub struct SharedArenaCache {
     capacity: usize,
     /// Byte budget over all entries' pipeline footprints; `0` = unbounded.
     max_bytes: usize,
+    /// How long a failed build is memoized (`ZERO` = not at all).
+    failure_ttl: Duration,
     inner: Mutex<Lru>,
 }
 
@@ -339,12 +371,27 @@ impl SharedArenaCache {
         Self {
             capacity,
             max_bytes,
+            failure_ttl: Duration::from_millis(250),
             inner: Mutex::new(Lru {
                 head: NIL,
                 tail: NIL,
                 ..Lru::default()
             }),
         }
+    }
+
+    /// Sets how long a failed build is memoized (builder-style). Within
+    /// the window, probes for the failed key resolve as
+    /// [`CacheProbe::Failed`] without waiting or building; after it, the
+    /// next probe retries. `Duration::ZERO` disables memoization.
+    pub fn with_failure_ttl(mut self, ttl: Duration) -> Self {
+        self.failure_ttl = ttl;
+        self
+    }
+
+    /// How long a failed build is memoized.
+    pub fn failure_ttl(&self) -> Duration {
+        self.failure_ttl
     }
 
     /// Maximum number of cached pipelines.
@@ -403,6 +450,28 @@ impl SharedArenaCache {
     /// resolves as a hit on the published entry, so a cold-start stampede
     /// on one hot key runs exactly one build.
     pub fn get_or_build_with_stats(&self, key: KeyRef<'_>) -> (CacheProbe<'_>, CacheStats) {
+        self.get_or_build_deadline(key, None)
+    }
+
+    /// [`get_or_build_with_stats`](Self::get_or_build_with_stats) bounded
+    /// by an optional deadline, with failure fast-paths:
+    ///
+    /// * a key whose build recently **failed** (within the cache's
+    ///   [`failure_ttl`](Self::failure_ttl)) resolves as
+    ///   [`CacheProbe::Failed`] immediately — no wait, no rebuild — so a
+    ///   poisoned hot key degrades to per-caller errors instead of a
+    ///   rebuild stampede;
+    /// * a caller whose deadline passes while **waiting on another
+    ///   request's in-flight build** resolves as [`CacheProbe::TimedOut`]
+    ///   (the build itself continues; later probes can still hit it).
+    ///
+    /// A ticket holder is never timed out by this method — once a caller
+    /// owns the build it runs it to publication or failure.
+    pub fn get_or_build_deadline(
+        &self,
+        key: KeyRef<'_>,
+        deadline: Option<Instant>,
+    ) -> (CacheProbe<'_>, CacheStats) {
         let hash = key.hash64();
         loop {
             let in_flight = {
@@ -413,6 +482,14 @@ impl SharedArenaCache {
                     let value = Arc::clone(&g.slots[i].as_ref().expect("live slot").value);
                     let stats = self.snapshot(&g);
                     return (CacheProbe::Hit(value), stats);
+                }
+                if !g.failed.is_empty() {
+                    let now = Instant::now();
+                    g.failed.retain(|f| f.until > now);
+                    if g.failed.iter().any(|f| f.hash == hash && key.matches(&f.key)) {
+                        let stats = self.snapshot(&g);
+                        return (CacheProbe::Failed, stats);
+                    }
                 }
                 match g.building.iter().find(|b| b.hash == hash && key.matches(&b.key)) {
                     Some(b) => Arc::clone(&b.latch),
@@ -437,11 +514,17 @@ impl SharedArenaCache {
             // Someone else is building this key: wait outside the cache
             // lock. Done → re-probe and hit the published entry;
             // Abandoned (or published-then-evicted) → re-probe and become
-            // the next builder. Uncacheable (the cache cannot retain this
-            // key) → build for ourselves, unregistered, so every released
-            // waiter builds in parallel instead of convoying one latch at
-            // a time.
-            if in_flight.wait() == BuildState::Uncacheable {
+            // the next builder (or fail fast on a fresh failure memo).
+            // Uncacheable (the cache cannot retain this key) → build for
+            // ourselves, unregistered, so every released waiter builds in
+            // parallel instead of convoying one latch at a time. A waiter
+            // whose deadline passes first gives up without disturbing the
+            // build.
+            let Some(state) = in_flight.wait_deadline(deadline) else {
+                let stats = self.stats();
+                return (CacheProbe::TimedOut, stats);
+            };
+            if state == BuildState::Uncacheable {
                 let mut g = self.lock();
                 if let Some(i) = find(&g, hash, key) {
                     // Someone cached it after all (e.g. budget freed up).
@@ -544,6 +627,7 @@ impl SharedArenaCache {
             capacity: self.capacity,
             bytes_in_use: g.bytes_in_use,
             max_bytes: self.max_bytes,
+            build_failures: g.build_failures,
         }
     }
 
@@ -634,9 +718,14 @@ fn evict_tail(g: &mut Lru) {
 
 /// Drops the single-flight registration whose latch is `latch` (matched by
 /// pointer identity — keys can be re-registered while an abandoned build's
-/// ticket is still alive).
-fn remove_building(g: &mut Lru, latch: &Arc<BuildLatch>) {
-    g.building.retain(|b| !Arc::ptr_eq(&b.latch, latch));
+/// ticket is still alive), returning it so a failing ticket can memoize
+/// its key. `None` for orphan (never-registered) tickets.
+fn remove_building(g: &mut Lru, latch: &Arc<BuildLatch>) -> Option<Building> {
+    let i = g
+        .building
+        .iter()
+        .position(|b| Arc::ptr_eq(&b.latch, latch))?;
+    Some(g.building.swap_remove(i))
 }
 
 /// Outcome of a single-flight probe
@@ -647,8 +736,19 @@ pub enum CacheProbe<'c> {
     /// this caller waited on the latch).
     Hit(Arc<CachedPipeline>),
     /// This caller owns the build for the key: build the pipeline, then
-    /// [`publish`](BuildTicket::publish) through the ticket.
+    /// [`publish`](BuildTicket::publish) through the ticket (or
+    /// [`fail`](BuildTicket::fail) it).
     Miss(BuildTicket<'c>),
+    /// The caller's deadline passed while another request's build of this
+    /// key was still in flight. Nothing was built for this caller; the
+    /// in-flight build continues and later probes can hit it. Only
+    /// returned by [`SharedArenaCache::get_or_build_deadline`] with a
+    /// deadline set.
+    TimedOut,
+    /// The key's build failed recently (within the cache's
+    /// [`failure_ttl`](SharedArenaCache::failure_ttl)); the caller should
+    /// error out instead of rebuilding.
+    Failed,
 }
 
 /// Exclusive permission to build one key's pipeline, handed to exactly one
@@ -676,6 +776,8 @@ impl BuildTicket<'_> {
         let (stats, retained) = {
             let mut g = self.cache.lock();
             remove_building(&mut g, &self.latch);
+            // A successful build supersedes any (stale) failure memo.
+            g.failed.retain(|f| !(f.hash == hash && key.matches(&f.key)));
             self.cache.insert_locked(&mut g, hash, key, value, bytes);
             let retained = find(&g, hash, key).is_some();
             (self.cache.snapshot(&g), retained)
@@ -688,6 +790,41 @@ impl BuildTicket<'_> {
         });
         stats
     }
+
+    /// Reports that the build failed: deregisters it, **memoizes the
+    /// failure** for the cache's
+    /// [`failure_ttl`](SharedArenaCache::failure_ttl) (waiters and
+    /// near-future probes of the key resolve as [`CacheProbe::Failed`]
+    /// instead of stampeding rebuilds of a key that just proved
+    /// poisonous), and wakes the waiters. After the window, the next probe
+    /// retries the build.
+    pub fn fail(mut self) {
+        self.abandon(true);
+        self.published = true; // Drop must not re-abandon
+    }
+
+    /// Shared abandon plumbing of [`fail`](Self::fail) and `Drop`.
+    fn abandon(&mut self, memoize: bool) {
+        {
+            let mut g = self.cache.lock();
+            let registration = remove_building(&mut g, &self.latch);
+            if memoize {
+                g.build_failures += 1;
+                // Orphan (uncacheable-path) tickets carry no registration
+                // and thus no key: their failure stays per-caller.
+                if let Some(b) = registration {
+                    if self.cache.failure_ttl > Duration::ZERO {
+                        g.failed.push(FailedBuild {
+                            hash: b.hash,
+                            key: b.key,
+                            until: Instant::now() + self.cache.failure_ttl,
+                        });
+                    }
+                }
+            }
+        }
+        self.latch.complete(BuildState::Abandoned);
+    }
 }
 
 impl Drop for BuildTicket<'_> {
@@ -695,11 +832,12 @@ impl Drop for BuildTicket<'_> {
         if self.published {
             return;
         }
-        {
-            let mut g = self.cache.lock();
-            remove_building(&mut g, &self.latch);
-        }
-        self.latch.complete(BuildState::Abandoned);
+        // A ticket dropped by an unwinding builder is a failed build —
+        // memoize it like `fail()` so the waiters it wakes don't stampede
+        // onto the same poisoned key. A voluntary bail (no panic, no
+        // `fail()`) stays a plain abandonment: the next prober simply
+        // takes over the build.
+        self.abandon(std::thread::panicking());
     }
 }
 
@@ -880,6 +1018,7 @@ mod tests {
                         CacheProbe::Hit(p) => {
                             assert_eq!(tag_of(&p), 7, "waiters see the published build")
                         }
+                        other => panic!("unexpected probe outcome {other:?}"),
                     }
                 });
             }
@@ -927,7 +1066,7 @@ mod tests {
                     CacheProbe::Miss(ticket) => {
                         ticket.publish(keyed(t), pipe(3));
                     }
-                    CacheProbe::Hit(_) => panic!("abandoned build cannot produce a hit"),
+                    other => panic!("abandoned build cannot produce {other:?}"),
                 }
             });
         });
@@ -959,7 +1098,7 @@ mod tests {
                             ticket.publish(keyed(t), pipe(63));
                             concurrent.fetch_sub(1, Ordering::SeqCst);
                         }
-                        CacheProbe::Hit(_) => panic!("budget 1 byte can never hit"),
+                        other => panic!("budget 1 byte can never produce {other:?}"),
                     }
                 });
             }
@@ -976,6 +1115,104 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, N as u64, "every thread built for itself");
         assert_eq!(s.entries, 0, "nothing retained");
+    }
+
+    #[test]
+    fn failed_build_is_memoized_then_expires() {
+        let cache =
+            SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_millis(40));
+        let t = terms(&[1]);
+        let (probe, _) = cache.get_or_build_with_stats(keyed(&t));
+        let CacheProbe::Miss(ticket) = probe else {
+            panic!("cold key must hand out the build")
+        };
+        ticket.fail();
+        // Within the TTL: fail fast, no new build, no wait.
+        let (probe2, stats) = cache.get_or_build_with_stats(keyed(&t));
+        assert!(matches!(probe2, CacheProbe::Failed), "fresh memo fails fast");
+        assert_eq!(stats.build_failures, 1);
+        // After the TTL: the next prober retries the build, and a
+        // successful publish serves hits again.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let (probe3, _) = cache.get_or_build_with_stats(keyed(&t));
+        let CacheProbe::Miss(ticket) = probe3 else {
+            panic!("expired memo must allow a retry")
+        };
+        ticket.publish(keyed(&t), pipe(5));
+        let (probe4, _) = cache.get_or_build_with_stats(keyed(&t));
+        match probe4 {
+            CacheProbe::Hit(p) => assert_eq!(tag_of(&p), 5),
+            other => panic!("published key must hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_builder_releases_waiters_onto_the_memo() {
+        let cache =
+            &SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_secs(3600));
+        let t = terms(&[1]);
+        let t = &t;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let (probe, _) = cache.get_or_build_with_stats(keyed(t));
+                let CacheProbe::Miss(ticket) = probe else {
+                    panic!("first prober builds")
+                };
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ticket.fail();
+            });
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let (probe, _) = cache.get_or_build_with_stats(keyed(t));
+                assert!(
+                    matches!(probe, CacheProbe::Failed),
+                    "waiter woken by a failed build resolves to the memo, not a rebuild"
+                );
+            });
+        });
+    }
+
+    #[test]
+    fn voluntary_ticket_drop_does_not_memoize() {
+        let cache =
+            SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_secs(3600));
+        let t = terms(&[1]);
+        let (probe, _) = cache.get_or_build_with_stats(keyed(&t));
+        drop(probe); // bail without fail(): no memo
+        let (probe2, stats) = cache.get_or_build_with_stats(keyed(&t));
+        assert!(
+            matches!(probe2, CacheProbe::Miss(_)),
+            "plain abandonment hands the build to the next prober"
+        );
+        assert_eq!(stats.build_failures, 0);
+    }
+
+    #[test]
+    fn waiter_deadline_times_out_without_disturbing_the_build() {
+        let cache = &SharedArenaCache::new(8);
+        let t = terms(&[1]);
+        let t = &t;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let (probe, _) = cache.get_or_build_with_stats(keyed(t));
+                let CacheProbe::Miss(ticket) = probe else {
+                    panic!("first prober builds")
+                };
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                ticket.publish(keyed(t), pipe(9));
+            });
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let deadline = Some(Instant::now() + Duration::from_millis(10));
+                let (probe, _) = cache.get_or_build_deadline(keyed(t), deadline);
+                assert!(
+                    matches!(probe, CacheProbe::TimedOut),
+                    "impatient waiter gives up"
+                );
+            });
+        });
+        // The build completed untouched.
+        assert_eq!(tag_of(&cache.peek(keyed(t)).expect("published")), 9);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! pipeline in one place instead of threading config structs through five
 //! crates by hand.
 
+use std::time::Duration;
+
 use qec_cluster::KMeansConfig;
 use qec_core::{ArenaConfig, FMeasureConfig, IskrConfig, PebcConfig};
 
@@ -26,6 +28,13 @@ pub struct CacheConfig {
     /// bound. This is what keeps memory bounded under mixed `top_k`
     /// workloads, where a top-500 entry weighs ~100× a top-30 one.
     pub max_bytes: usize,
+    /// How long a failed pipeline build is memoized. Within the window,
+    /// further requests for the same key fail fast with
+    /// [`EngineError::BuildFailed`](crate::EngineError::BuildFailed)
+    /// instead of stampeding rebuilds of a key that just proved poisonous;
+    /// after it, the next request retries the build. `Duration::ZERO`
+    /// disables memoization (every caller retries).
+    pub failure_ttl: Duration,
 }
 
 impl Default for CacheConfig {
@@ -34,8 +43,22 @@ impl Default for CacheConfig {
             enabled: true,
             capacity: 128,
             max_bytes: 0,
+            failure_ttl: Duration::from_millis(250),
         }
     }
+}
+
+/// Admission-control knobs: how the engine sheds load instead of queueing
+/// itself to death.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionConfig {
+    /// Maximum requests the engine serves concurrently. A request arriving
+    /// while this many are in flight is refused immediately with
+    /// [`EngineError::Overloaded`](crate::EngineError::Overloaded) —
+    /// batches count each admitted request. `0` disables admission control
+    /// (never sheds), which also keeps the no-deadline batch fast path
+    /// completely free of admission bookkeeping.
+    pub max_in_flight: usize,
 }
 
 /// Knobs of the persistent work-stealing worker pool
@@ -94,6 +117,8 @@ pub struct EngineConfig {
     pub cache: CacheConfig,
     /// Persistent worker pool + batched serving.
     pub pool: PoolConfig,
+    /// Admission control / load shedding.
+    pub admission: AdmissionConfig,
     /// Requests with at least this many non-empty clusters expand through
     /// the per-cluster fan-out (the persistent pool when one is
     /// configured, otherwise the scoped-thread
@@ -122,6 +147,7 @@ impl Default for EngineConfig {
             pebc: PebcConfig::default(),
             cache: CacheConfig::default(),
             pool: PoolConfig::default(),
+            admission: AdmissionConfig::default(),
             fanout_min_clusters: 8,
             fanout_threads: 0,
         }

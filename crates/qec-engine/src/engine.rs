@@ -26,13 +26,16 @@
 //! clusters trade the zero-allocation discipline for the scoped-thread
 //! per-cluster fan-out instead.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, SparseVec};
 use qec_core::{
     default_parallelism, expand_shared_clusters_pooled_into, expand_shared_clusters_with,
-    DisjointSlots, ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr, IskrScratch, Pebc,
-    QecInstance, ResultSet, ScratchPool, WorkerPool,
+    CancelToken, DisjointSlots, ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr,
+    IskrScratch, Pebc, QecInstance, ResultSet, ScratchPool, WorkerPool,
 };
 use qec_index::{
     Corpus, CorpusBuilder, DocId, DocumentSpec, QuerySemantics, SearchScratch, Searcher,
@@ -40,9 +43,18 @@ use qec_index::{
 };
 use qec_text::TermId;
 
-use crate::api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
-use crate::cache::{CacheProbe, CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache};
+use crate::api::{
+    ClusterExpansion, EngineError, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy,
+};
+use crate::cache::{
+    BuildTicket, CacheProbe, CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache,
+};
 use crate::config::EngineConfig;
+
+/// Flat-task outcome markers (see [`BatchScratch::task_state`]).
+const TASK_CANCELLED: u8 = 0;
+const TASK_OK: u8 = 1;
+const TASK_PANICKED: u8 = 2;
 
 /// Reusable per-request working state; pooled by the engine. Everything
 /// mutable a request touches lives here or in the response — the pipeline
@@ -75,6 +87,25 @@ struct GroupSlot {
     hit: bool,
     /// Post-probe cache snapshot for the group.
     stats: CacheStats,
+    /// Why the group has no pipeline (build failed / deadline tripped
+    /// waiting on a peer's build): every member request reports this
+    /// error and contributes no expansion tasks.
+    error: Option<EngineError>,
+}
+
+/// One cold group's build work, extracted from the probe loop so builds
+/// can run **through the pool** — one slow cold key then overlaps its
+/// siblings instead of serializing the chunk behind `build_pipeline`.
+struct ColdBuild<'c> {
+    /// Index into `BatchScratch::groups`.
+    group: usize,
+    /// The group's representative request index.
+    rep: usize,
+    /// The single-flight build ticket (`None` when caching is off).
+    ticket: Option<BuildTicket<'c>>,
+    /// Filled by the build task: the pipeline + post-publish stats, or
+    /// why the build failed.
+    built: Option<Result<(Arc<CachedPipeline>, CacheStats), EngineError>>,
 }
 
 /// Reusable working state of one in-flight [`QecEngine::expand_batch`]
@@ -95,6 +126,16 @@ struct BatchScratch {
     task_req: Vec<u32>,
     /// Flat per-(request, cluster) expansion outputs.
     outs: Vec<ExpandedQuery>,
+    /// Request index → preflight refusal (shed at admission or expired
+    /// before dispatch); such requests form no group and no tasks.
+    admit_err: Vec<Option<EngineError>>,
+    /// Request index → merged cancellation token (request token +
+    /// effective deadline), polled by the request's expansion tasks.
+    tokens: Vec<CancelToken>,
+    /// Flat task index → outcome ([`TASK_OK`] / [`TASK_CANCELLED`] /
+    /// [`TASK_PANICKED`]), written by exactly the task that owns the
+    /// index. A panicked task fails only its own request at fill time.
+    task_state: Vec<u8>,
 }
 
 /// The unified serving facade over retrieve → rank → cluster → expand.
@@ -120,9 +161,51 @@ pub struct QecEngine {
     pool: Option<WorkerPool>,
     /// Shared expansion scratches for pool tasks.
     scratches: ScratchPool,
+    /// Shared retrieval scratches for **pooled cold builds**: when a batch
+    /// chunk holds two or more cold keys, their pipeline builds run as
+    /// pool tasks, each on its own pooled [`SearchScratch`].
+    build_scratches: ScratchPool<SearchScratch>,
+    /// Requests currently being served — the admission-control gauge
+    /// compared against [`AdmissionConfig::max_in_flight`](crate::config::AdmissionConfig::max_in_flight).
+    in_flight: AtomicUsize,
     sessions: Mutex<Vec<SessionScratch>>,
     responses: Mutex<Vec<ExpandResponse>>,
     batches: Mutex<Vec<BatchScratch>>,
+    /// Recycled result buffers backing the infallible `expand_batch*`
+    /// wrappers over [`try_expand_batch_into`](QecEngine::try_expand_batch_into).
+    result_bufs: Mutex<Vec<Vec<Result<ExpandResponse, EngineError>>>>,
+}
+
+/// RAII admission permit: holds `n` slots of the engine's `in_flight`
+/// gauge and releases them on drop (panic-safe).
+struct InFlightPermit<'e> {
+    engine: &'e QecEngine,
+    n: usize,
+}
+
+impl InFlightPermit<'_> {
+    fn admit_one(&mut self) -> Result<(), EngineError> {
+        let max = self.engine.config.admission.max_in_flight;
+        debug_assert!(max > 0, "permits are only taken under admission control");
+        let prev = self.engine.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= max {
+            self.engine.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(EngineError::Overloaded {
+                in_flight: prev,
+                max_in_flight: max,
+            });
+        }
+        self.n += 1;
+        Ok(())
+    }
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        if self.n > 0 {
+            self.engine.in_flight.fetch_sub(self.n, Ordering::AcqRel);
+        }
+    }
 }
 
 impl std::fmt::Debug for QecEngine {
@@ -165,12 +248,59 @@ impl QecEngine {
     /// back with [`recycle`](Self::recycle) to keep a serving loop
     /// allocation-free. Dropping it instead is always safe — the next
     /// request simply starts from fresh buffers.
+    ///
+    /// # Panics
+    /// When serving fails with an [`EngineError`] — the engine was over
+    /// its admission bound, the request's deadline expired before a
+    /// pipeline was available, or the build/expansion itself failed. Use
+    /// [`try_expand`](Self::try_expand) to handle those as values; with
+    /// admission control off and no deadline set this method only panics
+    /// if the pipeline genuinely cannot be built.
     pub fn expand(&self, req: &ExpandRequest<'_>) -> ExpandResponse {
+        self.try_expand(req).unwrap_or_else(|e| {
+            panic!("QecEngine::expand failed ({e}); use try_expand to handle EngineError")
+        })
+    }
+
+    /// Serves one expansion request, reporting refusals and failures as
+    /// [`EngineError`] values instead of panicking.
+    ///
+    /// The full failure semantics:
+    ///
+    /// * **Admission**: with [`AdmissionConfig::max_in_flight`](crate::config::AdmissionConfig::max_in_flight)
+    ///   set and that many requests already in flight, returns
+    ///   [`EngineError::Overloaded`] immediately — nothing is built.
+    /// * **Deadline** ([`ExpandRequest::deadline`] / [`ExpandRequest::timeout`]):
+    ///   already expired at admission, or expires while waiting on a
+    ///   concurrent build of the same key → [`EngineError::DeadlineExceeded`].
+    ///   Expires *after* the pipeline is available → `Ok` with
+    ///   [`ExpandStats::degraded`] set and the finished prefix of cluster
+    ///   expansions intact (never a torn result).
+    /// * **Faults**: a panicking pipeline build → [`EngineError::BuildFailed`]
+    ///   (memoized briefly so the key's waiters don't stampede); a
+    ///   panicking expansion kernel → [`EngineError::ExpansionFailed`].
+    ///   The engine stays serviceable either way.
+    pub fn try_expand(&self, req: &ExpandRequest<'_>) -> Result<ExpandResponse, EngineError> {
+        let now = Instant::now();
+        let deadline = req.effective_deadline(now);
+        if deadline.is_some_and(|d| d <= now) {
+            return Err(EngineError::DeadlineExceeded);
+        }
+        let mut permit = InFlightPermit { engine: self, n: 0 };
+        if self.config.admission.max_in_flight > 0 {
+            permit.admit_one()?;
+        }
         let mut resp = lock(&self.responses).pop().unwrap_or_default();
         let mut session = lock(&self.sessions).pop().unwrap_or_default();
-        self.run(req, &mut session, &mut resp);
+        let result = self.run(req, deadline, &mut session, &mut resp);
         lock(&self.sessions).push(session);
-        resp
+        match result {
+            Ok(()) => Ok(resp),
+            Err(e) => {
+                self.recycle(resp);
+                Err(e)
+            }
+        }
     }
 
     /// Returns a response's buffers to the pool for reuse by later
@@ -190,9 +320,26 @@ impl QecEngine {
     /// request in request order. See
     /// [`expand_batch_into`](Self::expand_batch_into) — this convenience
     /// wrapper allocates the response vector.
+    ///
+    /// # Panics
+    /// When any request fails with an [`EngineError`]; use
+    /// [`try_expand_batch`](Self::try_expand_batch) to receive per-request
+    /// `Result`s instead.
     pub fn expand_batch(&self, reqs: &[ExpandRequest<'_>]) -> Vec<ExpandResponse> {
         let mut out = Vec::with_capacity(reqs.len());
         self.expand_batch_into(reqs, &mut out);
+        out
+    }
+
+    /// Serves a batch of expansion requests, returning one
+    /// `Result<ExpandResponse, EngineError>` per request in request order.
+    /// See [`try_expand_batch_into`](Self::try_expand_batch_into).
+    pub fn try_expand_batch(
+        &self,
+        reqs: &[ExpandRequest<'_>],
+    ) -> Vec<Result<ExpandResponse, EngineError>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        self.try_expand_batch_into(reqs, &mut out);
         out
     }
 
@@ -222,6 +369,39 @@ impl QecEngine {
     /// collapses identical keys within the batch to one build.
     pub fn expand_batch_into(&self, reqs: &[ExpandRequest<'_>], out: &mut Vec<ExpandResponse>) {
         out.clear();
+        let mut buf = lock(&self.result_bufs).pop().unwrap_or_default();
+        self.try_expand_batch_into(reqs, &mut buf);
+        for result in buf.drain(..) {
+            out.push(result.unwrap_or_else(|e| {
+                panic!(
+                    "QecEngine::expand_batch failed ({e}); \
+                     use try_expand_batch to handle EngineError"
+                )
+            }));
+        }
+        lock(&self.result_bufs).push(buf);
+    }
+
+    /// Serves a batch of expansion requests into `out` (cleared first),
+    /// one `Result` per request in request order, reporting per-request
+    /// refusals and failures as [`EngineError`] values. A degraded
+    /// response (deadline tripped mid-expansion) is still `Ok` — see
+    /// [`ExpandStats::degraded`].
+    ///
+    /// Isolation guarantees, proven by the `chaos` test suite:
+    ///
+    /// * a request whose pipeline build panics (or hits an injected
+    ///   fault) fails **alone** — sibling requests of the same chunk are
+    ///   served bit-identical to a clean run;
+    /// * a request whose expansion task panics fails alone the same way;
+    /// * admission sheds requests individually: shed requests form no
+    ///   group, trigger no build, and occupy no pool tasks.
+    pub fn try_expand_batch_into(
+        &self,
+        reqs: &[ExpandRequest<'_>],
+        out: &mut Vec<Result<ExpandResponse, EngineError>>,
+    ) {
+        out.clear();
         match &self.pool {
             Some(pool) => {
                 let chunk_max = match self.config.pool.batch_max {
@@ -234,44 +414,89 @@ impl QecEngine {
             }
             None => {
                 for req in reqs {
-                    out.push(self.expand(req));
+                    out.push(self.try_expand(req));
                 }
             }
         }
     }
 
-    /// Serves one pooled chunk: analyse → group by key → acquire one
-    /// pipeline per group (single-flight) → expand all clusters as one
-    /// flat task set → fill responses in request order.
+    /// Serves one pooled chunk: admit → analyse → group by key → acquire
+    /// one pipeline per group (single-flight; cold builds themselves run
+    /// through the pool) → expand all live clusters as one flat task set →
+    /// fill per-request `Result`s in request order.
     fn serve_chunk_pooled(
         &self,
         pool: &WorkerPool,
         reqs: &[ExpandRequest<'_>],
-        out: &mut Vec<ExpandResponse>,
+        out: &mut Vec<Result<ExpandResponse, EngineError>>,
     ) {
+        #[cfg(feature = "failpoints")]
+        if qec_failpoint::check("engine.batch_dispatch").is_err() {
+            let in_flight = self.in_flight.load(Ordering::Acquire);
+            let max_in_flight = self.config.admission.max_in_flight;
+            out.extend(reqs.iter().map(|_| {
+                Err(EngineError::Overloaded {
+                    in_flight,
+                    max_in_flight,
+                })
+            }));
+            return;
+        }
+
         let mut batch = lock(&self.batches).pop().unwrap_or_default();
         let b = &mut batch;
         if b.sessions.len() < reqs.len() {
             b.sessions.resize_with(reqs.len(), SessionScratch::default);
         }
 
-        // Analyse every request and group identical (terms, semantics,
-        // k_clusters, top_k) keys; pagination fields shape the response
-        // only and deliberately stay out of the key. With the cache
-        // disabled every request forms its own group — "rebuilds every
-        // request" is the documented contract, and collapsing duplicates
-        // would diverge from what the same stream reports through
-        // sequential `expand` calls.
+        // Preflight every request: resolve its deadline/timeout into a
+        // merged cancellation token and admit it against the in-flight
+        // bound. Refused requests (already-expired deadline, engine over
+        // `max_in_flight`) are decided here — they form no group, build
+        // nothing and occupy no pool task. Admitted requests hold their
+        // in-flight slots until the whole chunk is served.
+        let now = Instant::now();
+        let mut permit = InFlightPermit { engine: self, n: 0 };
+        let admission = self.config.admission.max_in_flight > 0;
+        b.admit_err.clear();
+        b.tokens.clear();
+        for req in reqs {
+            let deadline = req.effective_deadline(now);
+            let refused = if deadline.is_some_and(|d| d <= now) {
+                Some(EngineError::DeadlineExceeded)
+            } else if admission {
+                permit.admit_one().err()
+            } else {
+                None
+            };
+            b.admit_err.push(refused);
+            b.tokens.push(req.cancel.with_deadline(deadline));
+        }
+
+        // Analyse every admitted request and group identical (terms,
+        // semantics, k_clusters, top_k) keys; pagination fields shape the
+        // response only and deliberately stay out of the key. With the
+        // cache disabled every request forms its own group — "rebuilds
+        // every request" is the documented contract, and collapsing
+        // duplicates would diverge from what the same stream reports
+        // through sequential `expand` calls.
         let caching = self.config.cache.enabled && self.cache.capacity() > 0;
         b.group_of.clear();
         b.groups.clear();
         for (i, req) in reqs.iter().enumerate() {
+            if b.admit_err[i].is_some() {
+                continue;
+            }
             let s = &mut b.sessions[i];
             self.corpus
                 .query_terms_into(req.query, &mut s.terms, &mut s.keyword_buf);
             s.terms.sort_unstable();
         }
         for (i, req) in reqs.iter().enumerate() {
+            if b.admit_err[i].is_some() {
+                b.group_of.push(usize::MAX);
+                continue;
+            }
             let found = if caching {
                 b.groups.iter().position(|g| {
                     let rep = &reqs[g.rep];
@@ -298,43 +523,157 @@ impl QecEngine {
         // One pipeline per distinct key. Duplicates of a cold key share
         // the representative's build — within this chunk by construction,
         // across concurrent chunks through the cache's single-flight
-        // latch.
-        for g in b.groups.iter_mut() {
-            let req = &reqs[g.rep];
-            let s = &mut b.sessions[g.rep];
+        // latch. Probes only wait on concurrent builds here; the chunk's
+        // own cold builds are collected and dispatched below.
+        let mut cold: Vec<ColdBuild<'_>> = Vec::new();
+        for gi in 0..b.groups.len() {
+            let rep = b.groups[gi].rep;
+            let req = &reqs[rep];
+            if !caching {
+                cold.push(ColdBuild {
+                    group: gi,
+                    rep,
+                    ticket: None,
+                    built: None,
+                });
+                continue;
+            }
+            // A group's single-flight wait is bounded by its most patient
+            // member: the earliest deadlines may lapse into degraded
+            // responses, but the group doesn't time out while a member
+            // could still be served whole.
+            let mut wait = req.effective_deadline(now);
+            if wait.is_some() {
+                for (i, member) in reqs.iter().enumerate() {
+                    if b.group_of[i] != gi {
+                        continue;
+                    }
+                    match member.effective_deadline(now) {
+                        None => {
+                            wait = None;
+                            break;
+                        }
+                        Some(d) => wait = wait.map(|w| w.max(d)),
+                    }
+                }
+            }
+            let s = &b.sessions[rep];
             let key = KeyRef {
                 terms: &s.terms,
                 semantics: req.semantics,
                 k_clusters: req.k_clusters,
                 top_k: req.top_k,
             };
-            let (pipeline, hit, stats) = if caching {
-                match self.cache.get_or_build_with_stats(key) {
-                    (CacheProbe::Hit(p), stats) => (p, true, stats),
-                    (CacheProbe::Miss(ticket), _) => {
-                        let built =
-                            Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
-                        let stats = ticket.publish(key, Arc::clone(&built));
-                        (built, false, stats)
+            match self.cache.get_or_build_deadline(key, wait) {
+                (CacheProbe::Hit(p), stats) => {
+                    let g = &mut b.groups[gi];
+                    g.pipeline = Some(p);
+                    g.hit = true;
+                    g.stats = stats;
+                }
+                (CacheProbe::Miss(ticket), _) => cold.push(ColdBuild {
+                    group: gi,
+                    rep,
+                    ticket: Some(ticket),
+                    built: None,
+                }),
+                (CacheProbe::TimedOut, stats) => {
+                    let g = &mut b.groups[gi];
+                    g.error = Some(EngineError::DeadlineExceeded);
+                    g.stats = stats;
+                }
+                (CacheProbe::Failed, stats) => {
+                    let g = &mut b.groups[gi];
+                    g.error = Some(EngineError::BuildFailed);
+                    g.stats = stats;
+                }
+            }
+        }
+
+        // Cold builds run through the pool when there are two or more, so
+        // one slow cold key overlaps its siblings instead of serializing
+        // the whole chunk behind `build_pipeline`. Each build draws a
+        // pooled retrieval scratch; a failed build fails its ticket
+        // (memoized by the cache) and later errors only its own group.
+        if !cold.is_empty() {
+            let sessions: &[SessionScratch] = &b.sessions;
+            let do_build = |cb: &mut ColdBuild<'_>| {
+                let req = &reqs[cb.rep];
+                let terms: &[TermId] = &sessions[cb.rep].terms;
+                let key = KeyRef {
+                    terms,
+                    semantics: req.semantics,
+                    k_clusters: req.k_clusters,
+                    top_k: req.top_k,
+                };
+                let mut search = self.build_scratches.acquire();
+                match self.build_guarded(req, terms, &mut search) {
+                    Ok(pipeline) => {
+                        self.build_scratches.release(search);
+                        let built = Arc::new(pipeline);
+                        let stats = match cb.ticket.take() {
+                            Some(ticket) => ticket.publish(key, Arc::clone(&built)),
+                            None => CacheStats::default(),
+                        };
+                        cb.built = Some(Ok((built, stats)));
+                    }
+                    Err(e) => {
+                        // The scratch may hold half-written retrieval
+                        // state after a panic — drop it, don't pool it.
+                        drop(search);
+                        if let Some(ticket) = cb.ticket.take() {
+                            ticket.fail();
+                        }
+                        cb.built = Some(Err(e));
                     }
                 }
-            } else {
-                let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
-                (built, false, CacheStats::default())
             };
-            g.pipeline = Some(pipeline);
-            g.hit = hit;
-            g.stats = stats;
+            if cold.len() >= 2 {
+                let n = cold.len();
+                let slots = DisjointSlots::new(&mut cold[..]);
+                pool.run_indexed(n, &|i| {
+                    // SAFETY: `run_indexed` hands each index to exactly
+                    // one task, so slot `i` is never aliased.
+                    do_build(unsafe { slots.get(i) });
+                });
+            } else {
+                do_build(&mut cold[0]);
+            }
+            for cb in cold.drain(..) {
+                let g = &mut b.groups[cb.group];
+                match cb.built.expect("cold build ran") {
+                    Ok((p, stats)) => {
+                        g.pipeline = Some(p);
+                        g.stats = stats;
+                    }
+                    Err(e) => {
+                        g.error = Some(e);
+                        g.stats = if caching {
+                            self.cache.stats()
+                        } else {
+                            CacheStats::default()
+                        };
+                    }
+                }
+            }
         }
 
         // Lay out the flat task set: task t expands cluster
-        // `t - offsets[r]` of request `r = task_req[t]`.
+        // `t - offsets[r]` of request `r = task_req[t]`. Refused requests
+        // and errored groups contribute no tasks.
         b.offsets.clear();
         b.task_req.clear();
         let mut total = 0usize;
         for i in 0..reqs.len() {
             b.offsets.push(total);
-            let k = pipeline_of(&b.groups, &b.group_of, i).clusters.len();
+            if b.admit_err[i].is_some() {
+                continue;
+            }
+            let g = &b.groups[b.group_of[i]];
+            if g.error.is_some() {
+                continue;
+            }
+            let k = g.pipeline.as_ref().expect("live group has a pipeline").clusters.len();
             for _ in 0..k {
                 b.task_req.push(i as u32);
             }
@@ -343,67 +682,147 @@ impl QecEngine {
         if b.outs.len() < total {
             b.outs.resize_with(total, ExpandedQuery::default);
         }
+        b.task_state.clear();
+        b.task_state.resize(total, TASK_CANCELLED);
 
         if total >= 2 {
             // The batched hot path: every cluster of every request as one
             // flat task set across the pool, scratches drawn from the
             // shared scratch pool on whichever worker claims each task.
+            // Each task polls its request's token and records its outcome
+            // behind a panic boundary, so one tripped deadline degrades
+            // one request and one panicking kernel fails one request —
+            // siblings stay bit-identical to a clean run.
             let BatchScratch {
                 groups,
                 group_of,
                 offsets,
                 task_req,
                 outs,
+                tokens,
+                task_state,
                 ..
             } = b;
             let (groups, group_of): (&[GroupSlot], &[usize]) = (groups, group_of);
             let (offsets, task_req): (&[usize], &[u32]) = (offsets, task_req);
+            let tokens: &[CancelToken] = tokens;
             let slots = DisjointSlots::new(&mut outs[..total]);
+            let states = DisjointSlots::new(&mut task_state[..total]);
             pool.run_indexed(total, &|t| {
                 let r = task_req[t] as usize;
+                // SAFETY: `run_indexed` hands each index to exactly one
+                // task, so slots `t` are never aliased.
+                let (slot, state) = unsafe { (slots.get(t), states.get(t)) };
+                let token = &tokens[r];
+                if token.is_cancelled() {
+                    *state = TASK_CANCELLED;
+                    return;
+                }
                 let p = pipeline_of(groups, group_of, r);
                 let cc = &p.clusters[t - offsets[r]];
                 let inst = QecInstance::from_shared_parts(&p.arena, &cc.cluster, &cc.universe);
                 let mut scratch = self.scratches.acquire();
-                // SAFETY: `run_indexed` hands each index to exactly one
-                // task, so slot `t` is never aliased.
-                let slot = unsafe { slots.get(t) };
-                self.expander_for(reqs[r].strategy).expand_into(&inst, &mut scratch, slot);
-                self.scratches.release(scratch);
+                let expander = self.expander_for(reqs[r].strategy);
+                let finished = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "failpoints")]
+                    if qec_failpoint::check("engine.expand_task").is_err() {
+                        panic!("injected expand-task fault");
+                    }
+                    expander.expand_cancellable(&inst, &mut scratch, slot, token)
+                }));
+                *state = match finished {
+                    Ok(true) => {
+                        self.scratches.release(scratch);
+                        TASK_OK
+                    }
+                    Ok(false) => {
+                        self.scratches.release(scratch);
+                        TASK_CANCELLED
+                    }
+                    // Scratch and slot state are suspect mid-unwind: drop
+                    // the scratch; the slot is ignored at fill time.
+                    Err(_) => TASK_PANICKED,
+                };
             });
         } else if total == 1 {
-            let r = b.task_req[0] as usize;
-            let p = pipeline_of(&b.groups, &b.group_of, r);
-            let cc = &p.clusters[0];
-            let inst = QecInstance::from_shared_parts(&p.arena, &cc.cluster, &cc.universe);
-            let s = &mut b.sessions[r];
-            self.expander_for(reqs[r].strategy)
-                .expand_into(&inst, &mut s.iskr, &mut b.outs[0]);
+            let BatchScratch {
+                groups,
+                group_of,
+                task_req,
+                outs,
+                tokens,
+                task_state,
+                sessions,
+                ..
+            } = b;
+            let r = task_req[0] as usize;
+            let token = &tokens[r];
+            task_state[0] = if token.is_cancelled() {
+                TASK_CANCELLED
+            } else {
+                let p = pipeline_of(groups, group_of, r);
+                let cc = &p.clusters[0];
+                let inst = QecInstance::from_shared_parts(&p.arena, &cc.cluster, &cc.universe);
+                let s = &mut sessions[r];
+                let out0 = &mut outs[0];
+                let expander = self.expander_for(reqs[r].strategy);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "failpoints")]
+                    if qec_failpoint::check("engine.expand_task").is_err() {
+                        panic!("injected expand-task fault");
+                    }
+                    expander.expand_cancellable(&inst, &mut s.iskr, out0, token)
+                })) {
+                    Ok(true) => TASK_OK,
+                    Ok(false) => TASK_CANCELLED,
+                    Err(_) => TASK_PANICKED,
+                }
+            };
         }
 
-        // Fill responses in request order (cheap copies; done on the
-        // submitting thread so slot buffers stay session-free).
+        // Fill per-request results in request order (cheap copies; done on
+        // the submitting thread so slot buffers stay session-free). A
+        // degraded request keeps the leading run of finished clusters —
+        // always a prefix of the undegraded response.
         for (i, req) in reqs.iter().enumerate() {
-            let g = &b.groups[b.group_of[i]];
-            let p = g.pipeline.as_ref().expect("group pipeline acquired");
-            let mut resp = lock(&self.responses).pop().unwrap_or_default();
-            resp.begin(p.clusters.len());
-            for (c, cc) in p.clusters.iter().enumerate() {
-                fill_slot(resp.slot(c), cc, p, &b.outs[b.offsets[i] + c], req);
+            if let Some(e) = b.admit_err[i] {
+                out.push(Err(e));
+                continue;
             }
+            let g = &b.groups[b.group_of[i]];
+            if let Some(e) = g.error {
+                out.push(Err(e));
+                continue;
+            }
+            let p = g.pipeline.as_ref().expect("live group has a pipeline");
+            let k = p.clusters.len();
+            let base = b.offsets[i];
+            let states = &b.task_state[base..base + k];
+            if states.contains(&TASK_PANICKED) {
+                out.push(Err(EngineError::ExpansionFailed));
+                continue;
+            }
+            let completed = states.iter().take_while(|&&st| st == TASK_OK).count();
+            let mut resp = lock(&self.responses).pop().unwrap_or_default();
+            resp.begin(k);
+            for c in 0..completed {
+                fill_slot(resp.slot(c), &p.clusters[c], p, &b.outs[base + c], req);
+            }
+            resp.retain_live(completed);
             resp.stats = ExpandStats {
                 results: p.arena.size(),
                 candidates: p.arena.num_candidates(),
-                clusters: p.clusters.len(),
+                clusters: completed,
                 // Duplicates of a cold representative are served from the
                 // freshly shared build — a hit, exactly as the same
                 // request sequence would report through sequential
                 // `expand` calls.
                 arena_cache_hit: g.hit || i != g.rep,
                 strategy: self.expander_for(req.strategy).name(),
+                degraded: completed < k,
                 cache: g.stats,
             };
-            out.push(resp);
+            out.push(Ok(resp));
         }
 
         // Drop the pipeline Arcs before pooling the scratch: cached
@@ -412,6 +831,8 @@ impl QecEngine {
             g.pipeline = None;
         }
         lock(&self.batches).push(batch);
+        // Admission slots are held for the whole chunk; released here.
+        drop(permit);
     }
 
     /// The strategy instance serving `strategy`.
@@ -423,7 +844,13 @@ impl QecEngine {
         }
     }
 
-    fn run(&self, req: &ExpandRequest<'_>, s: &mut SessionScratch, resp: &mut ExpandResponse) {
+    fn run(
+        &self,
+        req: &ExpandRequest<'_>,
+        deadline: Option<Instant>,
+        s: &mut SessionScratch,
+        resp: &mut ExpandResponse,
+    ) -> Result<(), EngineError> {
         // Analyse and canonicalise the query. Retrieval, ranking,
         // clustering and arena construction are all term-order-invariant
         // (ranking is a per-term sum), so sorted terms are both a safe
@@ -442,30 +869,46 @@ impl QecEngine {
 
         let caching = self.config.cache.enabled && self.cache.capacity() > 0;
         let (pipeline, hit, cache_stats) = if caching {
-            match self.cache.get_or_build_with_stats(key) {
+            match self.cache.get_or_build_deadline(key, deadline) {
                 (CacheProbe::Hit(p), stats) => (p, true, stats),
                 (CacheProbe::Miss(ticket), _) => {
                     // Single-flight cold path: this session holds the
                     // key's build ticket; concurrent requests for the same
                     // key wait on its latch and hit the published entry,
                     // so a cold-start stampede builds exactly once. The
-                    // build itself runs outside the cache lock.
-                    let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+                    // build itself runs outside the cache lock. A failed
+                    // build fails the ticket — waiters resolve as
+                    // `BuildFailed` off the memo instead of stampeding.
+                    let built = match self.build_guarded(req, &s.terms, &mut s.search) {
+                        Ok(p) => Arc::new(p),
+                        Err(e) => {
+                            ticket.fail();
+                            return Err(e);
+                        }
+                    };
                     let stats = ticket.publish(key, Arc::clone(&built));
                     (built, false, stats)
                 }
+                (CacheProbe::TimedOut, _) => return Err(EngineError::DeadlineExceeded),
+                (CacheProbe::Failed, _) => return Err(EngineError::BuildFailed),
             }
         } else {
-            let built = Arc::new(self.build_pipeline(req, &s.terms, &mut s.search));
+            let built = Arc::new(self.build_guarded(req, &s.terms, &mut s.search)?);
             (built, false, CacheStats::default())
         };
 
+        // From here on the pipeline exists, so a tripping deadline (or
+        // the request's own token) degrades rather than errors: expansion
+        // keeps the leading run of finished clusters — cancelled clusters
+        // are dropped whole, never half-refined.
+        let token = req.cancel.with_deadline(deadline);
         let expander = self.expander_for(req.strategy);
         let arena = &pipeline.arena;
-        resp.begin(pipeline.clusters.len());
-        if pipeline.clusters.len() >= self.config.fanout_min_clusters {
-            // Big k: per-cluster fan-out — through the persistent pool
-            // when one is configured, else freshly scoped threads.
+        let k = pipeline.clusters.len();
+        resp.begin(k);
+        let use_fanout = k >= self.config.fanout_min_clusters;
+        let completed = if let Some(pool) = self.pool.as_ref().filter(|_| use_fanout) {
+            // Big k: per-cluster fan-out through the persistent pool.
             // Allocates (parts/output bookkeeping) but wins wall-clock
             // when expansion dominates the request — the common case on
             // cache hits.
@@ -474,39 +917,109 @@ impl QecEngine {
                 .iter()
                 .map(|cc| (&cc.cluster, &cc.universe))
                 .collect();
-            let outs = match &self.pool {
-                Some(pool) => {
-                    let mut outs = vec![ExpandedQuery::default(); parts.len()];
-                    expand_shared_clusters_pooled_into(
-                        pool,
-                        &self.scratches,
-                        arena,
-                        &parts,
-                        expander,
-                        &mut outs,
-                    );
-                    outs
-                }
-                None => expand_shared_clusters_with(arena, &parts, expander, self.fanout_threads),
+            let mut outs = vec![ExpandedQuery::default(); parts.len()];
+            let completed = if token.is_active() {
+                let mut done = vec![false; parts.len()];
+                qec_core::expand_shared_clusters_pooled_cancellable(
+                    pool,
+                    &self.scratches,
+                    arena,
+                    &parts,
+                    expander,
+                    &mut outs,
+                    &mut done,
+                    &token,
+                );
+                done.iter().take_while(|&&d| d).count()
+            } else {
+                expand_shared_clusters_pooled_into(
+                    pool,
+                    &self.scratches,
+                    arena,
+                    &parts,
+                    expander,
+                    &mut outs,
+                );
+                k
             };
+            for (c, out) in outs.iter().enumerate().take(completed) {
+                fill_slot(resp.slot(c), &pipeline.clusters[c], &pipeline, out, req);
+            }
+            completed
+        } else if use_fanout && !token.is_active() {
+            // Pool-less big k: freshly scoped threads. (An *active* token
+            // takes the sequential loop below instead — prefix semantics
+            // beat fan-out parallelism once a deadline is in play.)
+            let parts: Vec<(&ResultSet, &ResultSet)> = pipeline
+                .clusters
+                .iter()
+                .map(|cc| (&cc.cluster, &cc.universe))
+                .collect();
+            let outs = expand_shared_clusters_with(arena, &parts, expander, self.fanout_threads);
             for (i, (cc, out)) in pipeline.clusters.iter().zip(&outs).enumerate() {
                 fill_slot(resp.slot(i), cc, &pipeline, out, req);
             }
+            k
         } else {
+            let mut completed = 0;
             for (i, cc) in pipeline.clusters.iter().enumerate() {
+                if token.is_cancelled() {
+                    break;
+                }
                 let inst = QecInstance::from_shared_parts(arena, &cc.cluster, &cc.universe);
-                expander.expand_into(&inst, &mut s.iskr, &mut s.expanded);
-                fill_slot(resp.slot(i), cc, &pipeline, &s.expanded, req);
+                let finished = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "failpoints")]
+                    if qec_failpoint::check("engine.expand_task").is_err() {
+                        panic!("injected expand-task fault");
+                    }
+                    expander.expand_cancellable(&inst, &mut s.iskr, &mut s.expanded, &token)
+                }));
+                match finished {
+                    Ok(true) => {
+                        fill_slot(resp.slot(i), cc, &pipeline, &s.expanded, req);
+                        completed = i + 1;
+                    }
+                    Ok(false) => break,
+                    Err(_) => return Err(EngineError::ExpansionFailed),
+                }
             }
-        }
+            completed
+        };
+        resp.retain_live(completed);
         resp.stats = ExpandStats {
             results: arena.size(),
             candidates: arena.num_candidates(),
-            clusters: pipeline.clusters.len(),
+            clusters: completed,
             arena_cache_hit: hit,
             strategy: expander.name(),
+            degraded: completed < k,
             cache: cache_stats,
         };
+        Ok(())
+    }
+
+    /// Runs [`build_pipeline`](Self::build_pipeline) behind a panic
+    /// boundary (and the `engine.build_pipeline` failpoint): a panicking
+    /// build becomes [`EngineError::BuildFailed`] instead of tearing down
+    /// the caller, so one poisoned key cannot take the serving loop with
+    /// it.
+    fn build_guarded(
+        &self,
+        req: &ExpandRequest<'_>,
+        terms: &[TermId],
+        search: &mut SearchScratch,
+    ) -> Result<CachedPipeline, EngineError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "failpoints")]
+            if qec_failpoint::check("engine.build_pipeline").is_err() {
+                return Err(EngineError::BuildFailed);
+            }
+            Ok(self.build_pipeline(req, terms, search))
+        }));
+        match result {
+            Ok(built) => built,
+            Err(_) => Err(EngineError::BuildFailed),
+        }
     }
 
     /// The cold path: retrieve, rank, cluster, and build the expansion
@@ -706,6 +1219,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets how long a failed pipeline build is memoized: within the
+    /// window, requests for the poisoned key fail fast with
+    /// [`EngineError::BuildFailed`] instead of stampeding rebuilds.
+    /// `Duration::ZERO` disables memoization.
+    pub fn cache_failure_ttl(mut self, ttl: std::time::Duration) -> Self {
+        self.config.cache.failure_ttl = ttl;
+        self
+    }
+
+    /// Sets the admission bound: at most this many requests served
+    /// concurrently, excess refused with [`EngineError::Overloaded`].
+    /// `0` (the default) disables admission control.
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.config.admission.max_in_flight = max;
+        self
+    }
+
     /// Replaces the clusterer (default: cosine k-means configured by
     /// [`EngineConfig::kmeans`]).
     pub fn clusterer(mut self, clusterer: Box<dyn Clusterer>) -> Self {
@@ -767,19 +1297,23 @@ impl EngineBuilder {
             iskr: Iskr(config.iskr.clone()),
             exact: ExactDeltaF(config.exact.clone()),
             pebc: Pebc(config.pebc.clone()),
-            cache: SharedArenaCache::with_budget(config.cache.capacity, config.cache.max_bytes),
+            cache: SharedArenaCache::with_budget(config.cache.capacity, config.cache.max_bytes)
+                .with_failure_ttl(config.cache.failure_ttl),
             fanout_threads: match config.fanout_threads {
                 0 => parallelism,
                 t => t,
             },
             pool,
             scratches: ScratchPool::new(),
+            build_scratches: ScratchPool::new(),
+            in_flight: AtomicUsize::new(0),
             corpus,
             config,
             clusterer,
             sessions: Mutex::new(Vec::new()),
             responses: Mutex::new(Vec::new()),
             batches: Mutex::new(Vec::new()),
+            result_bufs: Mutex::new(Vec::new()),
         }
     }
 }

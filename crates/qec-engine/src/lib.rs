@@ -60,23 +60,48 @@
 //! ([`ExpandRequest::member_offset`] / [`ExpandRequest::member_limit`])
 //! jump straight to the requested page.
 //!
+//! # Failure semantics
+//!
+//! The serving path is deadline-aware and fault-isolated. Each
+//! [`ExpandRequest`] may carry an absolute [`deadline`] and/or a relative
+//! [`timeout`] (merged by taking the earlier) plus an external
+//! [`CancelToken`]; the engine may bound concurrent
+//! requests ([`EngineBuilder::max_in_flight`]). The fallible entry points
+//! [`try_expand`] / [`try_expand_batch`] report refusals and faults as
+//! typed [`EngineError`]s — shed at admission (`Overloaded`), deadline
+//! expired before a pipeline existed (`DeadlineExceeded`), build panicked
+//! (`BuildFailed`, memoized briefly so a poisoned key doesn't trigger a
+//! rebuild stampede), expansion panicked (`ExpansionFailed`). A deadline
+//! that trips *after* the pipeline is available instead **degrades** the
+//! response: `Ok` with [`ExpandStats::degraded`] set and the finished
+//! prefix of cluster expansions intact, never a torn result. Batch
+//! requests fail individually — siblings of a faulted request are served
+//! bit-identical to a clean run (see `tests/chaos.rs`, which drives these
+//! paths through the `qec-failpoint` crate).
+//!
 //! [`expand`]: QecEngine::expand
 //! [`expand_batch`]: QecEngine::expand_batch
+//! [`try_expand`]: QecEngine::try_expand
+//! [`try_expand_batch`]: QecEngine::try_expand_batch
 //! [`recycle`]: QecEngine::recycle
+//! [`deadline`]: ExpandRequest::deadline
+//! [`timeout`]: ExpandRequest::timeout
 
 pub mod api;
 pub mod cache;
 pub mod config;
 pub mod engine;
 
-pub use api::{ClusterExpansion, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy};
+pub use api::{
+    ClusterExpansion, EngineError, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy,
+};
 pub use cache::{BuildTicket, CacheProbe, CacheStats, SharedArenaCache};
-pub use config::{CacheConfig, EngineConfig, PoolConfig};
+pub use config::{AdmissionConfig, CacheConfig, EngineConfig, PoolConfig};
 pub use engine::{EngineBuilder, QecEngine};
 
 // Re-export the vocabulary types a facade caller needs, so simple servers
 // depend on `qec-engine` alone.
 pub use qec_cluster::{Clusterer, KMeansClusterer};
-pub use qec_core::{Expander, QueryQuality};
+pub use qec_core::{CancelSignal, CancelToken, Expander, QueryQuality};
 pub use qec_index::{Corpus, DocId, DocumentSpec, QuerySemantics};
 pub use qec_text::TermId;

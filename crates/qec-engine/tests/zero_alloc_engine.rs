@@ -122,6 +122,44 @@ fn warmed_engine_expand_performs_zero_heap_allocations() {
         );
     }
 
+    // Degraded responses keep the recycling discipline: a pre-tripped
+    // cancellation token serves an empty degraded response off the warm
+    // key, and cycling degraded → recycle → normal warm call stays off
+    // the heap — degradation must not cost the hot path its buffers.
+    let normal = ExpandRequest {
+        k_clusters: 4,
+        top_k: 50,
+        ..ExpandRequest::new("apple")
+    };
+    let (cancel, trip) = qec_engine::CancelToken::manual();
+    trip.cancel();
+    let tripped = ExpandRequest {
+        cancel,
+        ..normal.clone()
+    };
+    // One settling pass (the merged token and pooled buffers warm up).
+    let r = engine.expand(&tripped);
+    assert!(r.stats.degraded && r.clusters().is_empty());
+    engine.recycle(r);
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        let degraded = engine.expand(&tripped);
+        assert!(degraded.stats.degraded);
+        assert!(degraded.clusters().is_empty());
+        engine.recycle(degraded);
+        let whole = engine.expand(&normal);
+        assert!(!whole.stats.degraded);
+        assert_eq!(whole.clusters().len(), 4);
+        engine.recycle(whole);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        counted, 0,
+        "degraded/recycle/warm loop allocated: {counted} heap allocations counted"
+    );
+
     // The armed loops above were all hits; the only misses are the two
     // cold builds (one per strategy... the second strategy reuses the
     // first's entry, so exactly one).
