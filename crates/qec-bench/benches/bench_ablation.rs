@@ -5,7 +5,7 @@
 //! top-500 workload.
 
 use qec_bench::{synth_arena, ArenaSpec, Harness};
-use qec_core::{Expander, ExpandedQuery, Iskr, IskrConfig, IskrScratch, QecInstance};
+use qec_core::{ExpandedQuery, Expander, Iskr, IskrConfig, IskrScratch, QecInstance};
 use std::hint::black_box;
 
 fn main() {

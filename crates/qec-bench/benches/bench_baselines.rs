@@ -119,7 +119,11 @@ fn assert_parity(cells: &[Cell]) {
         let mut out = Bitset::empty(a.universe());
 
         assert_eq!(a.len(), scalar::count(aw), "len: {label}");
-        assert_eq!(a.intersect_count(b), scalar::and_count(aw, bw), "and_count: {label}");
+        assert_eq!(
+            a.intersect_count(b),
+            scalar::and_count(aw, bw),
+            "and_count: {label}"
+        );
         let fused = a.and_not_count_into(b, &mut out);
         let two_pass = scalar::and_not_into_then_count(aw, bw, &mut scalar_out);
         assert_eq!(fused, two_pass, "and_not count: {label}");
@@ -235,9 +239,7 @@ fn main() {
         // is pure loop overhead at ~50 ns/op, so it only backstops gross
         // regressions (25%).
         let mut checks = vec![];
-        for (label, strict, parity) in
-            [("u4096_dense", 1.25, 1.25), ("u65536_dense", 1.0, 1.05)]
-        {
+        for (label, strict, parity) in [("u4096_dense", 1.25, 1.25), ("u65536_dense", 1.0, 1.05)] {
             checks.push((
                 format!("and_not_count/scalar_two_pass/{label}"),
                 format!("and_not_count/fused_chunked/{label}"),
@@ -265,8 +267,7 @@ fn main() {
             1.0,
         ));
         for (scalar_case, kernel_case, tolerance) in checks {
-            let (Some(s), Some(k)) = (h.median_of(&scalar_case), h.median_of(&kernel_case))
-            else {
+            let (Some(s), Some(k)) = (h.median_of(&scalar_case), h.median_of(&kernel_case)) else {
                 continue; // a substring filter excluded one side
             };
             println!("# speedup {kernel_case}: {:.2}x vs {scalar_case}", s / k);

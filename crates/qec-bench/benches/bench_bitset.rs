@@ -46,14 +46,12 @@ fn main() {
         black_box(&a).weighted_sum_and(black_box(&b), black_box(&weights))
     });
     h.bench("weighted_sum_and/materialised", || {
-        black_box(&a).and(black_box(&b)).weighted_sum(black_box(&weights))
+        black_box(&a)
+            .and(black_box(&b))
+            .weighted_sum(black_box(&weights))
     });
     h.bench("weighted_sum_and_not_and/fused", || {
-        black_box(&a).weighted_sum_and_not_and(
-            black_box(&b),
-            black_box(&c),
-            black_box(&weights),
-        )
+        black_box(&a).weighted_sum_and_not_and(black_box(&b), black_box(&c), black_box(&weights))
     });
     h.bench("weighted_sum_and_not_and/materialised", || {
         black_box(&a)

@@ -19,7 +19,10 @@ fn main() {
         doc_len: 40,
         ..Default::default()
     });
-    let clusterer = KMeansClusterer(KMeansConfig { seed: 11, ..Default::default() });
+    let clusterer = KMeansClusterer(KMeansConfig {
+        seed: 11,
+        ..Default::default()
+    });
 
     for n in [30usize, 100, 500] {
         // The "result list": the first n docs stand in for ranked hits.
@@ -32,8 +35,7 @@ fn main() {
             black_box(vectors.len())
         });
 
-        let vectors: Vec<SparseVec> =
-            docs.iter().map(|&d| doc_tf_vector(&corpus, d)).collect();
+        let vectors: Vec<SparseVec> = docs.iter().map(|&d| doc_tf_vector(&corpus, d)).collect();
         h.bench(&format!("kmeans/top{n}/k8"), || {
             black_box(clusterer.cluster(black_box(&vectors), 8))
         });

@@ -34,10 +34,16 @@ fn main() {
     let (sparse_a, df_sa) = term_with_df(&corpus, 40, dense_cut - 1);
     let (sparse_b, df_sb) = term_with_df(&corpus, 5, 39);
     for dense in [dense_a, dense_b] {
-        assert!(matches!(corpus.index().doc_ids(dense), PostingsView::Bitmap(_)));
+        assert!(matches!(
+            corpus.index().doc_ids(dense),
+            PostingsView::Bitmap(_)
+        ));
     }
     for sparse in [sparse_a, sparse_b] {
-        assert!(matches!(corpus.index().doc_ids(sparse), PostingsView::Sorted(_)));
+        assert!(matches!(
+            corpus.index().doc_ids(sparse),
+            PostingsView::Sorted(_)
+        ));
     }
     println!(
         "# dfs: dense {df_da}/{df_db}, sparse {df_sa}/{df_sb} over {} docs",
@@ -59,7 +65,10 @@ fn main() {
 
     let mut scratch = SearchScratch::new();
     h.bench("and/four_term_mixed_scratch_reuse", || {
-        s.and_query_into(black_box(&[sparse_a, sparse_b, dense_a, dense_b]), &mut scratch);
+        s.and_query_into(
+            black_box(&[sparse_a, sparse_b, dense_a, dense_b]),
+            &mut scratch,
+        );
         black_box(scratch.results().len())
     });
 

@@ -5,7 +5,7 @@
 
 use qec_bench::{synth_arena, ArenaSpec, Harness};
 use qec_core::{
-    expand_clusters_with, ExactDeltaF, Expander, ExpandedQuery, FMeasureConfig, Iskr, IskrConfig,
+    expand_clusters_with, ExactDeltaF, ExpandedQuery, Expander, FMeasureConfig, Iskr, IskrConfig,
     IskrScratch, QecInstance,
 };
 use std::hint::black_box;
@@ -38,7 +38,9 @@ fn main() {
     // parallel case uses the machine's core count; on a single-core box it
     // degrades to the sequential path (spawning threads there only adds
     // overhead, which the strategy-generic fan-out avoids by design).
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("# cores available: {cores}");
     let (arena, clusters) = synth_arena(&ArenaSpec::top(500, 11));
     h.bench("expand_all/arena500/sequential", || {

@@ -30,9 +30,7 @@ use std::time::Instant;
 use qec_bench::harness::Harness;
 use qec_bench::synth::{synth_corpus, CorpusSpec};
 use qec_cluster::SplitMix64;
-use qec_engine::{
-    ClusterExpansion, EngineBuilder, EngineError, ExpandRequest, QecEngine,
-};
+use qec_engine::{ClusterExpansion, EngineBuilder, EngineError, ExpandRequest, QecEngine};
 
 /// Admission slots (`max_in_flight`) of the engine under test.
 const SLOTS: usize = 4;
@@ -117,7 +115,10 @@ fn run_load(
                                 );
                                 engine.recycle(resp);
                             }
-                            Err(EngineError::Overloaded { in_flight, max_in_flight }) => {
+                            Err(EngineError::Overloaded {
+                                in_flight,
+                                max_in_flight,
+                            }) => {
                                 assert_eq!(max_in_flight, SLOTS, "bound echoed back");
                                 assert!(in_flight >= SLOTS, "shed only at the bound");
                                 shed += 1;
@@ -181,7 +182,9 @@ fn main() {
 
     // Reference point: solo warm serving latency, no contention.
     h.bench("solo/warm_expand", || {
-        let resp = engine.try_expand(&request(&queries[0])).expect("solo never sheds");
+        let resp = engine
+            .try_expand(&request(&queries[0]))
+            .expect("solo never sheds");
         engine.recycle(resp);
     });
 
@@ -214,8 +217,7 @@ fn main() {
 
     if let Ok(path) = std::env::var("QEC_BENCH_OVERLOAD_JSON") {
         use std::io::Write;
-        let mut f =
-            std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        let mut f = std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
         writeln!(f, "[").expect("write json");
         for (i, o) in outcomes.iter().enumerate() {
             writeln!(

@@ -10,7 +10,7 @@
 
 use qec_bench::{synth_arena, ArenaSpec, Harness};
 use qec_core::{
-    ExactDeltaF, Expander, ExpandedQuery, FMeasureConfig, Iskr, IskrConfig, IskrScratch, Pebc,
+    ExactDeltaF, ExpandedQuery, Expander, FMeasureConfig, Iskr, IskrConfig, IskrScratch, Pebc,
     PebcConfig, QecInstance,
 };
 use std::hint::black_box;
@@ -59,7 +59,10 @@ fn main() {
         // The cost guard needs both medians; a substring filter can
         // legitimately exclude them, but that skip must be visible, not
         // silent. The iskr median is printing-only and stays optional.
-        match (h.median_of("pebc/arena100"), h.median_of("exact_df/arena100")) {
+        match (
+            h.median_of("pebc/arena100"),
+            h.median_of("exact_df/arena100"),
+        ) {
             (Some(p), Some(e)) => {
                 let iskr_part = h
                     .median_of("iskr/arena100")

@@ -89,7 +89,13 @@ impl Outcome {
 /// Replays `sessions` interleaved Zipf(s) query streams against a fresh
 /// engine, round-robin (session 0's i-th request, session 1's i-th, …) —
 /// the arrival order a fair multi-user load balancer produces.
-fn replay(spec: &CorpusSpec, queries: &[String], sessions: usize, zipf_s: f64, per_session: usize) -> Outcome {
+fn replay(
+    spec: &CorpusSpec,
+    queries: &[String],
+    sessions: usize,
+    zipf_s: f64,
+    per_session: usize,
+) -> Outcome {
     let engine = fresh_engine(spec, true);
     let zipf = ZipfSampler::new(queries.len(), zipf_s);
     let mut rngs: Vec<SplitMix64> = (0..sessions)

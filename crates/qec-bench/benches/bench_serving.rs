@@ -29,9 +29,7 @@ use std::hint::black_box;
 use qec_bench::harness::Harness;
 use qec_bench::synth::{synth_corpus, CorpusSpec, ZipfSampler};
 use qec_cluster::SplitMix64;
-use qec_engine::{
-    EngineBuilder, EngineConfig, ExpandRequest, ExpandResponse, QecEngine,
-};
+use qec_engine::{EngineBuilder, EngineConfig, ExpandRequest, ExpandResponse, QecEngine};
 
 /// Shared query pool: head ranks of the synthetic Zipf vocabulary, so
 /// every query retrieves a dense, clusterable result set.
@@ -210,7 +208,9 @@ fn main() {
 
         if !test_mode {
             let per_req = |case: &str| {
-                h.median_of(case).map(|ns| ns / STREAM as f64).unwrap_or(f64::NAN)
+                h.median_of(case)
+                    .map(|ns| ns / STREAM as f64)
+                    .unwrap_or(f64::NAN)
             };
             let scoped_ns = per_req(&format!("zipf={zipf_s}/scoped_spawn"));
             outcomes.push(Outcome {
@@ -254,8 +254,7 @@ fn main() {
 
     if let Ok(path) = std::env::var("QEC_BENCH_SERVING_JSON") {
         use std::io::Write;
-        let mut f =
-            std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        let mut f = std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
         writeln!(f, "[").expect("write json");
         for (i, o) in outcomes.iter().enumerate() {
             writeln!(

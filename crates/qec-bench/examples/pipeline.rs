@@ -16,7 +16,10 @@ fn main() {
     let docs = [
         ("Apple Inc", "apple computers iphone ipad store cupertino"),
         ("Apple Store", "apple store retail genius bar iphone"),
-        ("Apple earnings", "apple company quarterly earnings iphone sales"),
+        (
+            "Apple earnings",
+            "apple company quarterly earnings iphone sales",
+        ),
         ("Apple orchard", "apple fruit orchard harvest cider"),
         ("Apple pie", "apple fruit pie baking recipe cinnamon"),
         ("Apple varieties", "apple fruit varieties fuji gala orchard"),
@@ -30,7 +33,10 @@ fn main() {
         )
         .build();
 
-    let base = ExpandRequest { k_clusters: 2, ..ExpandRequest::new(&query) };
+    let base = ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new(&query)
+    };
     let first = engine.expand(&base);
     if first.clusters().is_empty() {
         println!("no results for {query:?}");
@@ -43,7 +49,10 @@ fn main() {
     // The same request under the baseline strategies — served from the
     // session's arena cache, so only the expansion kernel re-runs.
     for strategy in [ExpandStrategy::Pebc, ExpandStrategy::ExactDeltaF] {
-        let resp = engine.expand(&ExpandRequest { strategy, ..base.clone() });
+        let resp = engine.expand(&ExpandRequest {
+            strategy,
+            ..base.clone()
+        });
         println!(
             "\nstrategy {} (arena cache hit: {}):",
             resp.stats.strategy, resp.stats.arena_cache_hit
@@ -61,11 +70,7 @@ fn print_response(engine: &QecEngine, query: &str, resp: &ExpandResponse) {
             .iter()
             .map(|&d| corpus.doc(d).title.as_str())
             .collect();
-        let added: Vec<&str> = cluster
-            .added
-            .iter()
-            .map(|&t| corpus.term_name(t))
-            .collect();
+        let added: Vec<&str> = cluster.added.iter().map(|&t| corpus.term_name(t)).collect();
         println!(
             "cluster {c}: {members:?}\n  expanded query: {query} + {added:?} \
              (P {:.2}, R {:.2}, F {:.2})",

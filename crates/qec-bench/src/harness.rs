@@ -60,7 +60,14 @@ impl Harness {
                 _ => {}
             }
         }
-        println!("# {group}{}", if test_mode { " (--test: smoke mode)" } else { "" });
+        println!(
+            "# {group}{}",
+            if test_mode {
+                " (--test: smoke mode)"
+            } else {
+                ""
+            }
+        );
         Self {
             group: group.to_string(),
             test_mode,
@@ -97,8 +104,7 @@ impl Harness {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters_per_sample =
-            ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let iters_per_sample = ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
 
         let mut samples_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
         for _ in 0..SAMPLES {

@@ -233,5 +233,4 @@ mod tests {
             assert_eq!(x.contains, y.contains);
         }
     }
-
 }

@@ -5,8 +5,8 @@
 
 use qec_bench::{synth_arena, ArenaSpec};
 use qec_core::{
-    iskr_into, ExactDeltaF, Expander, ExpandedQuery, FMeasureConfig, Iskr, IskrConfig,
-    IskrScratch, Pebc, PebcConfig, QecInstance,
+    iskr_into, ExactDeltaF, ExpandedQuery, Expander, FMeasureConfig, Iskr, IskrConfig, IskrScratch,
+    Pebc, PebcConfig, QecInstance,
 };
 
 /// Seeded instance sweep: every cluster of several arena shapes.
@@ -39,9 +39,18 @@ fn iskr_via_trait_is_bit_identical_to_direct_kernel() {
 #[test]
 fn all_strategies_respect_iteration_budgets() {
     for budget in [0usize, 1, 2, 5] {
-        let iskr = Iskr(IskrConfig { max_iters: budget, ..Default::default() });
-        let exact = ExactDeltaF(FMeasureConfig { max_iters: budget, ..Default::default() });
-        let pebc = Pebc(PebcConfig { max_keywords: budget, ..Default::default() });
+        let iskr = Iskr(IskrConfig {
+            max_iters: budget,
+            ..Default::default()
+        });
+        let exact = ExactDeltaF(FMeasureConfig {
+            max_iters: budget,
+            ..Default::default()
+        });
+        let pebc = Pebc(PebcConfig {
+            max_keywords: budget,
+            ..Default::default()
+        });
         let strategies: [&dyn Expander; 3] = [&iskr, &exact, &pebc];
         let mut scratch = IskrScratch::new();
         let mut out = ExpandedQuery::default();
@@ -77,7 +86,11 @@ fn budgeted_strategies_still_produce_valid_queries() {
             s.expand_into(inst, &mut scratch, &mut out);
             let reeval = inst.quality_of_added(&out.added);
             assert_eq!(out.quality, reeval, "{}", s.name());
-            assert!(out.added.windows(2).all(|w| w[0] < w[1]), "{} sorted", s.name());
+            assert!(
+                out.added.windows(2).all(|w| w[0] < w[1]),
+                "{} sorted",
+                s.name()
+            );
         }
     });
 }

@@ -119,7 +119,11 @@ impl Bitset {
     /// Adds `i` to the set.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        debug_assert!(i < self.universe, "index {i} out of universe {}", self.universe);
+        debug_assert!(
+            i < self.universe,
+            "index {i} out of universe {}",
+            self.universe
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -361,7 +365,12 @@ impl Bitset {
         self.check(and);
         debug_assert_eq!(weights.len(), self.universe);
         let mut acc = 0.0;
-        for (wi, ((&a, &m), &c)) in self.words.iter().zip(&minus.words).zip(&and.words).enumerate()
+        for (wi, ((&a, &m), &c)) in self
+            .words
+            .iter()
+            .zip(&minus.words)
+            .zip(&and.words)
+            .enumerate()
         {
             acc += weigh_word(a & !m & c, wi, weights);
         }
@@ -373,7 +382,11 @@ impl Bitset {
     /// over the whole prefix — use a [`RankIndex`] for repeated queries
     /// against a set that is not changing.
     pub fn rank(&self, i: usize) -> usize {
-        assert!(i <= self.universe, "rank({i}) beyond universe {}", self.universe);
+        assert!(
+            i <= self.universe,
+            "rank({i}) beyond universe {}",
+            self.universe
+        );
         let full_words = i / 64;
         let mut count: usize = self.words[..full_words]
             .iter()
@@ -406,7 +419,10 @@ impl Bitset {
         self.words
             .iter()
             .enumerate()
-            .flat_map(|(wi, &word)| BitIter { word, base: wi * 64 })
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: wi * 64,
+            })
     }
 
     /// Iterates over member indices `≥ start` in ascending order — the
@@ -419,10 +435,16 @@ impl Bitset {
             0 => !0u64,
             rem => !((1u64 << rem) - 1),
         };
-        self.words[first..].iter().enumerate().flat_map(move |(wi, &word)| {
-            let word = if wi == 0 { word & mask } else { word };
-            BitIter { word, base: (first + wi) * 64 }
-        })
+        self.words[first..]
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &word)| {
+                let word = if wi == 0 { word & mask } else { word };
+                BitIter {
+                    word,
+                    base: (first + wi) * 64,
+                }
+            })
     }
 
     /// Members collected into a vector.
@@ -630,7 +652,11 @@ impl RankIndex {
     /// was (re)built for.
     pub fn rank(&self, bits: &Bitset, i: usize) -> usize {
         debug_assert_eq!(self.ones(), bits.len(), "RankIndex out of sync");
-        assert!(i <= bits.universe(), "rank({i}) beyond universe {}", bits.universe());
+        assert!(
+            i <= bits.universe(),
+            "rank({i}) beyond universe {}",
+            bits.universe()
+        );
         let words = bits.as_words();
         let full_words = i / 64;
         let block = full_words / RANK_BLOCK_WORDS;

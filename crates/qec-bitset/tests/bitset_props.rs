@@ -65,9 +65,17 @@ fn kernels_match_btreeset_reference() {
                 assert_eq!(a.is_subset_of(&b), ma.is_subset(&mb), "subset: {ctx}");
 
                 let mut out = Bitset::empty(universe);
-                assert_eq!(a.and_count_into(&b, &mut out), and.len(), "and_count_into: {ctx}");
+                assert_eq!(
+                    a.and_count_into(&b, &mut out),
+                    and.len(),
+                    "and_count_into: {ctx}"
+                );
                 assert_eq!(out.to_vec(), and, "and_count_into set: {ctx}");
-                assert_eq!(a.or_count_into(&b, &mut out), or.len(), "or_count_into: {ctx}");
+                assert_eq!(
+                    a.or_count_into(&b, &mut out),
+                    or.len(),
+                    "or_count_into: {ctx}"
+                );
                 assert_eq!(out.to_vec(), or, "or_count_into set: {ctx}");
                 assert_eq!(
                     a.and_not_count_into(&b, &mut out),
@@ -97,7 +105,9 @@ fn kernels_match_btreeset_reference() {
 fn weighted_kernels_match_reference_sums() {
     let mut rng = SplitMix64(0xF00D);
     for universe in [63usize, 64, 65, 200, 777] {
-        let weights: Vec<f64> = (0..universe).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let weights: Vec<f64> = (0..universe)
+            .map(|i| ((i * 37) % 101) as f64 * 0.25)
+            .collect();
         for _ in 0..4 {
             let ma = random_members(&mut rng, universe, 40);
             let mb = random_members(&mut rng, universe, 40);
@@ -106,14 +116,15 @@ fn weighted_kernels_match_reference_sums() {
             let b = bitset_of(universe, &mb);
             let c = bitset_of(universe, &mc);
 
-            let sum = |it: &mut dyn Iterator<Item = usize>| -> f64 {
-                it.map(|i| weights[i]).sum()
-            };
+            let sum = |it: &mut dyn Iterator<Item = usize>| -> f64 { it.map(|i| weights[i]).sum() };
             let w1 = sum(&mut ma.iter().copied());
             assert!((a.weighted_sum(&weights) - w1).abs() < 1e-9);
             let w2 = sum(&mut ma.intersection(&mb).copied());
             assert!((a.weighted_sum_and(&b, &weights) - w2).abs() < 1e-9);
-            let w3 = sum(&mut ma.iter().copied().filter(|i| mb.contains(i) && mc.contains(i)));
+            let w3 = sum(&mut ma
+                .iter()
+                .copied()
+                .filter(|i| mb.contains(i) && mc.contains(i)));
             let (ab, abc) = a.weighted_sum_and_split(&b, &c, &weights);
             assert!((ab - w2).abs() < 1e-9);
             assert!((abc - w3).abs() < 1e-9);
@@ -121,7 +132,10 @@ fn weighted_kernels_match_reference_sums() {
             let (total, inter) = a.weighted_sum_split(&c, &weights);
             assert!((total - w1).abs() < 1e-9);
             assert!((inter - wc).abs() < 1e-9);
-            let w4 = sum(&mut ma.iter().copied().filter(|i| !mb.contains(i) && mc.contains(i)));
+            let w4 = sum(&mut ma
+                .iter()
+                .copied()
+                .filter(|i| !mb.contains(i) && mc.contains(i)));
             assert!((a.weighted_sum_and_not_and(&b, &c, &weights) - w4).abs() < 1e-9);
         }
     }

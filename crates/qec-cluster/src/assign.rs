@@ -69,7 +69,10 @@ impl ClusterAssignment {
     /// Maps member indices to `DocId`s given the item → doc table used for
     /// clustering (typically the ranked result list).
     pub fn cluster_docs(&self, c: usize, items: &[DocId]) -> Vec<DocId> {
-        self.clusters[c].iter().map(|&i| items[i as usize]).collect()
+        self.clusters[c]
+            .iter()
+            .map(|&i| items[i as usize])
+            .collect()
     }
 }
 

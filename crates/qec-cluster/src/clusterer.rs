@@ -37,7 +37,13 @@ impl Clusterer for KMeansClusterer {
     }
 
     fn cluster(&self, vectors: &[SparseVec], k: usize) -> ClusterAssignment {
-        kmeans(vectors, &KMeansConfig { k, ..self.0.clone() })
+        kmeans(
+            vectors,
+            &KMeansConfig {
+                k,
+                ..self.0.clone()
+            },
+        )
     }
 }
 
@@ -60,7 +66,10 @@ mod tests {
                 }
             })
             .collect();
-        let config = KMeansConfig { seed: 17, ..Default::default() };
+        let config = KMeansConfig {
+            seed: 17,
+            ..Default::default()
+        };
         let via_trait = KMeansClusterer(config.clone()).cluster(&vectors, 2);
         let direct = kmeans(&vectors, &KMeansConfig { k: 2, ..config });
         assert_eq!(via_trait, direct);
@@ -69,9 +78,12 @@ mod tests {
 
     #[test]
     fn per_request_k_overrides_config_k() {
-        let vectors: Vec<SparseVec> =
-            (0..10u32).map(|i| v(&[(i % 4, 1.0 + i as f64)])).collect();
-        let c = KMeansClusterer(KMeansConfig { k: 9, seed: 3, ..Default::default() });
+        let vectors: Vec<SparseVec> = (0..10u32).map(|i| v(&[(i % 4, 1.0 + i as f64)])).collect();
+        let c = KMeansClusterer(KMeansConfig {
+            k: 9,
+            seed: 3,
+            ..Default::default()
+        });
         assert!(c.cluster(&vectors, 2).num_clusters() <= 2);
     }
 
@@ -86,8 +98,7 @@ mod tests {
 
         fn cluster(&self, vectors: &[SparseVec], k: usize) -> ClusterAssignment {
             let k = k.max(1) as u32;
-            let membership: Vec<u32> =
-                (0..vectors.len() as u32).map(|i| i % k).collect();
+            let membership: Vec<u32> = (0..vectors.len() as u32).map(|i| i % k).collect();
             ClusterAssignment::from_membership(&membership)
         }
     }

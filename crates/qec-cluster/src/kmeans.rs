@@ -19,8 +19,8 @@
 //!   tests) have undefined cosine; they are assigned to cluster 0.
 
 use crate::assign::ClusterAssignment;
-use crate::vector::{cosine_similarity, SparseVec};
 use crate::rng::SplitMix64;
+use crate::vector::{cosine_similarity, SparseVec};
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone)]
@@ -189,7 +189,13 @@ mod tests {
     #[test]
     fn separates_disjoint_blobs() {
         let vectors = two_blobs();
-        let a = kmeans(&vectors, &KMeansConfig { k: 2, ..Default::default() });
+        let a = kmeans(
+            &vectors,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.num_clusters(), 2);
         // All of the first 10 share a cluster; all of the last 10 the other.
         let c0 = a.cluster_of(0);
@@ -202,7 +208,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let vectors = two_blobs();
-        let cfg = KMeansConfig { k: 3, seed: 42, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 42,
+            ..Default::default()
+        };
         let a = kmeans(&vectors, &cfg);
         let b = kmeans(&vectors, &cfg);
         assert_eq!(a, b);
@@ -211,7 +221,13 @@ mod tests {
     #[test]
     fn n_leq_k_gives_singletons() {
         let vectors = vec![v(&[(0, 1.0)]), v(&[(1, 1.0)]), v(&[(2, 1.0)])];
-        let a = kmeans(&vectors, &KMeansConfig { k: 5, ..Default::default() });
+        let a = kmeans(
+            &vectors,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.num_clusters(), 3);
         assert_eq!(a.num_items(), 3);
     }
@@ -230,7 +246,14 @@ mod tests {
             .map(|i| v(&[(0, 10.0 + (i % 3) as f64), (1, 5.0)]))
             .collect();
         vectors.push(v(&[(50, 4.0), (51, 4.0)]));
-        let a = kmeans(&vectors, &KMeansConfig { k: 2, seed: 7, ..Default::default() });
+        let a = kmeans(
+            &vectors,
+            &KMeansConfig {
+                k: 2,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.num_clusters(), 2);
         let outlier_cluster = a.cluster_of(19);
         let member_count = (0..20)
@@ -241,15 +264,33 @@ mod tests {
 
     #[test]
     fn zero_vectors_do_not_panic() {
-        let vectors = vec![SparseVec::zero(), v(&[(0, 1.0)]), v(&[(5, 2.0)]), SparseVec::zero()];
-        let a = kmeans(&vectors, &KMeansConfig { k: 2, ..Default::default() });
+        let vectors = vec![
+            SparseVec::zero(),
+            v(&[(0, 1.0)]),
+            v(&[(5, 2.0)]),
+            SparseVec::zero(),
+        ];
+        let a = kmeans(
+            &vectors,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.num_items(), 4);
     }
 
     #[test]
     fn membership_covers_all_items_exactly_once() {
         let vectors = two_blobs();
-        let a = kmeans(&vectors, &KMeansConfig { k: 4, seed: 3, ..Default::default() });
+        let a = kmeans(
+            &vectors,
+            &KMeansConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let mut seen: Vec<u32> = a.iter_clusters().flatten().copied().collect();
         seen.sort_unstable();
         let expect: Vec<u32> = (0..vectors.len() as u32).collect();
@@ -260,7 +301,14 @@ mod tests {
     fn at_most_k_clusters() {
         let vectors = two_blobs();
         for k in 1..6 {
-            let a = kmeans(&vectors, &KMeansConfig { k, seed: 11, ..Default::default() });
+            let a = kmeans(
+                &vectors,
+                &KMeansConfig {
+                    k,
+                    seed: 11,
+                    ..Default::default()
+                },
+            );
             assert!(a.num_clusters() <= k, "k={k} produced {}", a.num_clusters());
             assert!(a.num_clusters() >= 1);
         }

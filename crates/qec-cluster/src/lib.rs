@@ -21,6 +21,6 @@ pub mod vector;
 pub use assign::ClusterAssignment;
 pub use clusterer::{Clusterer, KMeansClusterer};
 pub use kmeans::{kmeans, KMeansConfig};
-pub use rng::SplitMix64;
 pub use quality::{normalized_mutual_information, purity};
+pub use rng::SplitMix64;
 pub use vector::{cosine_similarity, doc_tf_vector, SparseVec};

@@ -10,7 +10,11 @@ use crate::assign::ClusterAssignment;
 /// Purity: `(1/N) Σ_c max_class |c ∩ class|`. In `(0, 1]`; 1 iff every
 /// cluster is label-pure. Returns 1.0 for empty input (vacuously pure).
 pub fn purity(assignment: &ClusterAssignment, labels: &[u32]) -> f64 {
-    assert_eq!(assignment.num_items(), labels.len(), "labels must cover items");
+    assert_eq!(
+        assignment.num_items(),
+        labels.len(),
+        "labels must cover items"
+    );
     let n = labels.len();
     if n == 0 {
         return 1.0;
@@ -31,7 +35,11 @@ pub fn purity(assignment: &ClusterAssignment, labels: &[u32]) -> f64 {
 /// partition has zero entropy) return 1.0 when the partitions are
 /// informationally identical (both single-block), else 0.0.
 pub fn normalized_mutual_information(assignment: &ClusterAssignment, labels: &[u32]) -> f64 {
-    assert_eq!(assignment.num_items(), labels.len(), "labels must cover items");
+    assert_eq!(
+        assignment.num_items(),
+        labels.len(),
+        "labels must cover items"
+    );
     let n = labels.len();
     if n == 0 {
         return 1.0;
@@ -39,9 +47,12 @@ pub fn normalized_mutual_information(assignment: &ClusterAssignment, labels: &[u
     let nf = n as f64;
 
     // Joint counts.
-    let mut joint: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
-    let mut cluster_counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
-    let mut label_counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    let mut joint: std::collections::BTreeMap<(u32, u32), usize> =
+        std::collections::BTreeMap::new();
+    let mut cluster_counts: std::collections::BTreeMap<u32, usize> =
+        std::collections::BTreeMap::new();
+    let mut label_counts: std::collections::BTreeMap<u32, usize> =
+        std::collections::BTreeMap::new();
     for (item, &l) in labels.iter().enumerate().take(n) {
         let c = assignment.cluster_of(item);
         *joint.entry((c, l)).or_insert(0) += 1;
@@ -99,7 +110,10 @@ mod tests {
         let a = assignment(&[0, 1, 0, 1]);
         let labels = [0, 0, 1, 1];
         let nmi = normalized_mutual_information(&a, &labels);
-        assert!(nmi < 1e-9, "orthogonal partitions should have NMI 0, got {nmi}");
+        assert!(
+            nmi < 1e-9,
+            "orthogonal partitions should have NMI 0, got {nmi}"
+        );
     }
 
     #[test]

@@ -51,11 +51,7 @@ impl SparseVec {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Dot product with another sparse vector (linear merge).

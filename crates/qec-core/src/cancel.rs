@@ -83,6 +83,26 @@ impl CancelToken {
         self.deadline
     }
 
+    /// Polls the **manual flag alone**: `true` once a [`CancelSignal`]
+    /// sharing this token's flag has fired, regardless of the deadline.
+    /// This is how a front door tells an *explicit* cancellation apart
+    /// from a lapsed deadline when deciding which error to complete a
+    /// still-queued request with; [`is_cancelled`](Self::is_cancelled)
+    /// folds both causes together.
+    pub fn flag_tripped(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Acquire))
+    }
+
+    /// Whether this token carries a manual flag at all (tripped or not).
+    /// A queue holding flagged tokens must *poll* for trips — there is no
+    /// waker attached to a [`CancelSignal`] — while deadline-only tokens
+    /// can be slept past precisely.
+    pub fn has_flag(&self) -> bool {
+        self.flag.is_some()
+    }
+
     /// Polls the token: `true` once the manual flag is set or the
     /// deadline has passed. Inert tokens answer without reading the
     /// clock.
@@ -148,12 +168,82 @@ mod tests {
     fn with_deadline_takes_the_minimum_and_keeps_the_flag() {
         let near = Instant::now() + Duration::from_millis(5);
         let far = Instant::now() + Duration::from_secs(3600);
-        assert_eq!(CancelToken::until(far).with_deadline(Some(near)).deadline(), Some(near));
-        assert_eq!(CancelToken::until(near).with_deadline(Some(far)).deadline(), Some(near));
-        assert_eq!(CancelToken::none().with_deadline(Some(far)).deadline(), Some(far));
+        assert_eq!(
+            CancelToken::until(far).with_deadline(Some(near)).deadline(),
+            Some(near)
+        );
+        assert_eq!(
+            CancelToken::until(near).with_deadline(Some(far)).deadline(),
+            Some(near)
+        );
+        assert_eq!(
+            CancelToken::none().with_deadline(Some(far)).deadline(),
+            Some(far)
+        );
         let (t, signal) = CancelToken::manual();
         let merged = t.with_deadline(Some(far));
         signal.cancel();
         assert!(merged.is_cancelled(), "merged token shares the flag");
+    }
+
+    #[test]
+    fn with_deadline_merge_is_order_invariant() {
+        // Chained merges land on the minimum no matter the order the
+        // deadlines arrive in — the front door merges (request deadline,
+        // timeout, token deadline) without caring which is tightest.
+        let now = Instant::now();
+        let a = now + Duration::from_millis(10);
+        let b = now + Duration::from_secs(10);
+        let c = now + Duration::from_secs(3600);
+        for perm in [[a, b, c], [c, b, a], [b, a, c], [c, a, b]] {
+            let merged = CancelToken::none()
+                .with_deadline(Some(perm[0]))
+                .with_deadline(Some(perm[1]))
+                .with_deadline(Some(perm[2]));
+            assert_eq!(merged.deadline(), Some(a), "min survives any merge order");
+        }
+        // `None` merges are identity on the deadline, whichever side
+        // holds it.
+        assert_eq!(
+            CancelToken::until(a).with_deadline(None).deadline(),
+            Some(a)
+        );
+        assert_eq!(CancelToken::none().with_deadline(None).deadline(), None);
+    }
+
+    #[test]
+    fn merging_an_already_expired_deadline_trips_immediately() {
+        let past = Instant::now() - Duration::from_millis(5);
+        let merged = CancelToken::none().with_deadline(Some(past));
+        assert!(merged.is_active());
+        assert!(merged.is_cancelled(), "expired deadline trips on arrival");
+        // Tightening an already-expired token cannot loosen it.
+        let future = Instant::now() + Duration::from_secs(3600);
+        assert!(merged.with_deadline(Some(future)).is_cancelled());
+    }
+
+    #[test]
+    fn flag_tripped_distinguishes_manual_trips_from_deadlines() {
+        let past = Instant::now() - Duration::from_millis(5);
+        let expired = CancelToken::until(past);
+        assert!(expired.is_cancelled());
+        assert!(
+            !expired.flag_tripped(),
+            "a lapsed deadline is not a manual trip"
+        );
+
+        let (manual, signal) = CancelToken::manual();
+        assert!(!manual.flag_tripped());
+        signal.cancel();
+        assert!(manual.flag_tripped());
+
+        // The distinction survives a deadline merge (the flag is shared,
+        // not copied).
+        let (t, signal) = CancelToken::manual();
+        let merged = t.with_deadline(Some(past));
+        assert!(merged.is_cancelled(), "deadline component already lapsed");
+        assert!(!merged.flag_tripped(), "but the flag has not fired");
+        signal.cancel();
+        assert!(merged.flag_tripped(), "trip reaches the merged clone");
     }
 }

@@ -223,10 +223,22 @@ mod tests {
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
             vec![
-                Candidate { term: TermId(0), contains: full.and_not(&elim(&[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 5, 6, 7, 8])) },
-                Candidate { term: TermId(1), contains: full.and_not(&elim(&[1, 2, 3, 4], &[1, 2, 3, 4, 9])) },
-                Candidate { term: TermId(2), contains: full.and_not(&elim(&[2, 3, 4, 5], &[5, 6, 7, 8, 10])) },
-                Candidate { term: TermId(3), contains: full.and_not(&elim(&[1, 2, 3], &[2, 3, 4])) },
+                Candidate {
+                    term: TermId(0),
+                    contains: full.and_not(&elim(&[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 5, 6, 7, 8])),
+                },
+                Candidate {
+                    term: TermId(1),
+                    contains: full.and_not(&elim(&[1, 2, 3, 4], &[1, 2, 3, 4, 9])),
+                },
+                Candidate {
+                    term: TermId(2),
+                    contains: full.and_not(&elim(&[2, 3, 4, 5], &[5, 6, 7, 8, 10])),
+                },
+                Candidate {
+                    term: TermId(3),
+                    contains: full.and_not(&elim(&[1, 2, 3], &[2, 3, 4])),
+                },
             ],
         );
         let inst = QecInstance::from_members(&arena, 0..8);
@@ -241,7 +253,13 @@ mod tests {
         let (arena, cluster) = simple_arena();
         let inst = QecInstance::from_members(&arena, cluster);
         let start_f = inst.quality_of_added(&[]).fmeasure;
-        let out = fmeasure_refine(&inst, &FMeasureConfig { max_iters: 3, ..Default::default() });
+        let out = fmeasure_refine(
+            &inst,
+            &FMeasureConfig {
+                max_iters: 3,
+                ..Default::default()
+            },
+        );
         assert!(out.quality.fmeasure >= start_f);
     }
 
@@ -267,9 +285,18 @@ mod tests {
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
             vec![
-                Candidate { term: TermId(0), contains: k0 },
-                Candidate { term: TermId(1), contains: k1 },
-                Candidate { term: TermId(2), contains: k2 },
+                Candidate {
+                    term: TermId(0),
+                    contains: k0,
+                },
+                Candidate {
+                    term: TermId(1),
+                    contains: k1,
+                },
+                Candidate {
+                    term: TermId(2),
+                    contains: k2,
+                },
             ],
         );
         let inst = QecInstance::from_members(&arena, 0..4);

@@ -389,10 +389,22 @@ mod tests {
         let fruit = elim(&[1, 2, 3], &[2, 3, 4]);
         let full = ResultSet::full(n);
         let candidates = vec![
-            Candidate { term: TermId(0), contains: full.and_not(&job) },
-            Candidate { term: TermId(1), contains: full.and_not(&store) },
-            Candidate { term: TermId(2), contains: full.and_not(&location) },
-            Candidate { term: TermId(3), contains: full.and_not(&fruit) },
+            Candidate {
+                term: TermId(0),
+                contains: full.and_not(&job),
+            },
+            Candidate {
+                term: TermId(1),
+                contains: full.and_not(&store),
+            },
+            Candidate {
+                term: TermId(2),
+                contains: full.and_not(&location),
+            },
+            Candidate {
+                term: TermId(3),
+                contains: full.and_not(&fruit),
+            },
         ];
         let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
         let cluster = ResultSet::from_indices(n, 0..8);
@@ -422,7 +434,10 @@ mod tests {
         let inst = QecInstance::new(&arena, cluster);
         let out = iskr(
             &inst,
-            &IskrConfig { allow_removal: false, ..Default::default() },
+            &IskrConfig {
+                allow_removal: false,
+                ..Default::default()
+            },
         );
         assert!(out.added.contains(&CandId(0)), "job kept: {:?}", out.added);
         assert_eq!(out.quality.precision, 1.0);
@@ -441,7 +456,10 @@ mod tests {
         let fast = iskr(&inst, &IskrConfig::default());
         let slow = iskr(
             &inst,
-            &IskrConfig { affected_only: false, ..Default::default() },
+            &IskrConfig {
+                affected_only: false,
+                ..Default::default()
+            },
         );
         assert_eq!(fast, slow);
     }
@@ -481,7 +499,10 @@ mod tests {
         let contains = ResultSet::from_indices(n, cluster.iter().copied());
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
-            vec![Candidate { term: TermId(0), contains }],
+            vec![Candidate {
+                term: TermId(0),
+                contains,
+            }],
         );
         let inst = QecInstance::from_members(&arena, cluster);
         let out = iskr(&inst, &IskrConfig::default());
@@ -496,7 +517,10 @@ mod tests {
         let contains = ResultSet::from_indices(n, [3, 4, 5]); // eliminates C = {0,1,2}
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
-            vec![Candidate { term: TermId(0), contains }],
+            vec![Candidate {
+                term: TermId(0),
+                contains,
+            }],
         );
         let inst = QecInstance::from_members(&arena, [0, 1, 2]);
         let out = iskr(&inst, &IskrConfig::default());
@@ -514,8 +538,14 @@ mod tests {
         let arena = ExpansionArena::from_parts(
             weights,
             vec![
-                Candidate { term: TermId(0), contains: keep0 },
-                Candidate { term: TermId(1), contains: keep1 },
+                Candidate {
+                    term: TermId(0),
+                    contains: keep0,
+                },
+                Candidate {
+                    term: TermId(1),
+                    contains: keep1,
+                },
             ],
         );
         let inst = QecInstance::from_members(&arena, [0, 1]);
@@ -529,7 +559,9 @@ mod tests {
         let n = 64;
         let mut candidates = Vec::new();
         for i in 0..32u32 {
-            let members: Vec<usize> = (0..n).filter(|&j| !(j + i as usize).is_multiple_of(3)).collect();
+            let members: Vec<usize> = (0..n)
+                .filter(|&j| !(j + i as usize).is_multiple_of(3))
+                .collect();
             candidates.push(Candidate {
                 term: TermId(i),
                 contains: ResultSet::from_indices(n, members),
@@ -537,7 +569,13 @@ mod tests {
         }
         let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
         let inst = QecInstance::from_members(&arena, (0..20).collect::<Vec<_>>());
-        let out = iskr(&inst, &IskrConfig { max_iters: 50, ..Default::default() });
+        let out = iskr(
+            &inst,
+            &IskrConfig {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
         // Sanity: produced a valid quality.
         assert!(out.quality.fmeasure >= 0.0 && out.quality.fmeasure <= 1.0);
     }

@@ -43,21 +43,19 @@ pub mod problem;
 pub use bitset::ResultSet;
 // The shared kernel crate's own names, for callers that want the
 // positional-query sidecar or to name the type universe-neutrally.
-pub use qec_bitset::{Bitset, RankIndex};
 pub use cancel::{CancelSignal, CancelToken};
 pub use expander::{ExactDeltaF, Expander, Iskr, Pebc};
 pub use fmeasure::{
     fmeasure_refine, fmeasure_refine_into, fmeasure_refine_into_cancellable, FMeasureConfig,
 };
-pub use iskr::{
-    iskr, iskr_into, iskr_into_cancellable, ExpandedQuery, IskrConfig, IskrScratch,
-};
+pub use iskr::{iskr, iskr_into, iskr_into_cancellable, ExpandedQuery, IskrConfig, IskrScratch};
 pub use metrics::{fmeasure, overall_score, query_quality, uniform_weights, QueryQuality};
 pub use parallel::{
     expand_clusters, expand_clusters_pooled, expand_clusters_with, expand_clusters_with_threads,
     expand_shared_clusters_pooled, expand_shared_clusters_pooled_cancellable,
     expand_shared_clusters_pooled_into, expand_shared_clusters_with, DisjointSlots, ScratchPool,
 };
-pub use pool::{default_parallelism, WorkerPool};
 pub use pebc::{pebc, pebc_into, pebc_into_cancellable, PebcConfig};
+pub use pool::{default_parallelism, WorkerPool};
 pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance, SetSlot};
+pub use qec_bitset::{Bitset, RankIndex};

@@ -109,8 +109,7 @@ where
     } else {
         // Hand each worker a strided view of the output slots; the stripes
         // are disjoint, so no synchronisation beyond the scope join.
-        let slots: Vec<(usize, &mut Option<ExpandedQuery>)> =
-            out.iter_mut().enumerate().collect();
+        let slots: Vec<(usize, &mut Option<ExpandedQuery>)> = out.iter_mut().enumerate().collect();
         let mut stripes: Vec<Vec<(usize, &mut Option<ExpandedQuery>)>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (i, slot) in slots {
@@ -378,8 +377,7 @@ mod tests {
             .map(|c| iskr(&QecInstance::new(&arena, c.clone()), &config))
             .collect();
         for threads in [1, 2, 3, 8, 64] {
-            let parallel =
-                expand_clusters_with_threads(&arena, &clusters, &config, threads);
+            let parallel = expand_clusters_with_threads(&arena, &clusters, &config, threads);
             assert_eq!(parallel, sequential, "threads = {threads}");
         }
     }
@@ -427,8 +425,7 @@ mod tests {
         let pool = WorkerPool::new(3);
         let scratches = ScratchPool::new();
 
-        let expected =
-            expand_shared_clusters_pooled(&pool, &scratches, &arena, &parts, &strategy);
+        let expected = expand_shared_clusters_pooled(&pool, &scratches, &arena, &parts, &strategy);
         let mut out = vec![ExpandedQuery::default(); parts.len()];
         let mut done = vec![false; parts.len()];
         expand_shared_clusters_pooled_cancellable(
@@ -449,14 +446,7 @@ mod tests {
         signal.cancel();
         let stale: Vec<ExpandedQuery> = out.clone();
         expand_shared_clusters_pooled_cancellable(
-            &pool,
-            &scratches,
-            &arena,
-            &parts,
-            &strategy,
-            &mut out,
-            &mut done,
-            &token,
+            &pool, &scratches, &arena, &parts, &strategy, &mut out, &mut done, &token,
         );
         assert!(done.iter().all(|&d| !d), "tripped token completes nothing");
         assert_eq!(out, stale, "cancelled tasks leave slots untouched");

@@ -186,10 +186,22 @@ mod tests {
         let fruit = elim(&[1, 2, 3], &[2, 3, 4]);
         let full = ResultSet::full(n);
         let candidates = vec![
-            Candidate { term: TermId(0), contains: full.and_not(&job) },
-            Candidate { term: TermId(1), contains: full.and_not(&store) },
-            Candidate { term: TermId(2), contains: full.and_not(&location) },
-            Candidate { term: TermId(3), contains: full.and_not(&fruit) },
+            Candidate {
+                term: TermId(0),
+                contains: full.and_not(&job),
+            },
+            Candidate {
+                term: TermId(1),
+                contains: full.and_not(&store),
+            },
+            Candidate {
+                term: TermId(2),
+                contains: full.and_not(&location),
+            },
+            Candidate {
+                term: TermId(3),
+                contains: full.and_not(&fruit),
+            },
         ];
         let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
         let cluster = ResultSet::from_indices(n, 0..8);
@@ -224,8 +236,14 @@ mod tests {
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
             vec![
-                Candidate { term: TermId(0), contains: exact },
-                Candidate { term: TermId(1), contains: decoy },
+                Candidate {
+                    term: TermId(0),
+                    contains: exact,
+                },
+                Candidate {
+                    term: TermId(1),
+                    contains: decoy,
+                },
             ],
         );
         let inst = QecInstance::from_members(&arena, cluster);
@@ -240,7 +258,10 @@ mod tests {
         let contains = ResultSet::from_indices(n, [3, 4, 5]); // kills C
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
-            vec![Candidate { term: TermId(0), contains }],
+            vec![Candidate {
+                term: TermId(0),
+                contains,
+            }],
         );
         let inst = QecInstance::from_members(&arena, [0, 1, 2]);
         let out = pebc(&inst, &PebcConfig::default());
@@ -254,9 +275,16 @@ mod tests {
         for budget in 0..4 {
             let out = pebc(
                 &inst,
-                &PebcConfig { max_keywords: budget, ..Default::default() },
+                &PebcConfig {
+                    max_keywords: budget,
+                    ..Default::default()
+                },
             );
-            assert!(out.added.len() <= budget, "budget {budget}: {:?}", out.added);
+            assert!(
+                out.added.len() <= budget,
+                "budget {budget}: {:?}",
+                out.added
+            );
         }
     }
 
@@ -272,9 +300,18 @@ mod tests {
         let arena = ExpansionArena::from_parts(
             vec![1.0; n],
             vec![
-                Candidate { term: TermId(0), contains: k0 },
-                Candidate { term: TermId(1), contains: k1 },
-                Candidate { term: TermId(2), contains: k2 },
+                Candidate {
+                    term: TermId(0),
+                    contains: k0,
+                },
+                Candidate {
+                    term: TermId(1),
+                    contains: k1,
+                },
+                Candidate {
+                    term: TermId(2),
+                    contains: k2,
+                },
             ],
         );
         let inst = QecInstance::from_members(&arena, 0..4);

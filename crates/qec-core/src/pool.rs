@@ -262,10 +262,7 @@ impl PoolShared {
             if *epoch == seen && !self.shutdown.load(Ordering::Acquire) {
                 self.sleepers.fetch_add(1, Ordering::Relaxed);
                 while *epoch == seen && !self.shutdown.load(Ordering::Acquire) {
-                    epoch = self
-                        .work_cv
-                        .wait(epoch)
-                        .unwrap_or_else(|e| e.into_inner());
+                    epoch = self.work_cv.wait(epoch).unwrap_or_else(|e| e.into_inner());
                 }
                 self.sleepers.fetch_sub(1, Ordering::Relaxed);
             }
@@ -398,8 +395,9 @@ impl WorkerPool {
         // SAFETY: erasing `'env` is sound because this frame blocks until
         // `pending == 0`, i.e. until no worker will ever dereference `f`
         // or `batch` again; both outlive every access.
-        let f_static: *const BatchFn =
-            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + 'env), *const BatchFn>(f) };
+        let f_static: *const BatchFn = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + 'env), *const BatchFn>(f)
+        };
         let batch = BatchState {
             f: f_static,
             pending: AtomicUsize::new(n),
@@ -500,7 +498,10 @@ mod tests {
                 ran.fetch_add(1, Ordering::Relaxed);
             });
         }));
-        assert!(result.is_err(), "injected fault surfaces as the batch panic");
+        assert!(
+            result.is_err(),
+            "injected fault surfaces as the batch panic"
+        );
         assert_eq!(
             ran.load(Ordering::Relaxed),
             15,

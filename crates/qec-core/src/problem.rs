@@ -333,7 +333,11 @@ pub struct QecInstance<'a> {
 impl<'a> QecInstance<'a> {
     /// Creates an instance; `U` is derived as the arena complement of `C`.
     pub fn new(arena: &'a ExpansionArena, cluster: ResultSet) -> Self {
-        assert_eq!(cluster.universe(), arena.size(), "cluster universe mismatch");
+        assert_eq!(
+            cluster.universe(),
+            arena.size(),
+            "cluster universe mismatch"
+        );
         let universe_set = ResultSet::full(arena.size()).and_not(&cluster);
         Self {
             arena,
@@ -343,7 +347,10 @@ impl<'a> QecInstance<'a> {
     }
 
     /// Creates an instance from cluster member indices.
-    pub fn from_members(arena: &'a ExpansionArena, members: impl IntoIterator<Item = usize>) -> Self {
+    pub fn from_members(
+        arena: &'a ExpansionArena,
+        members: impl IntoIterator<Item = usize>,
+    ) -> Self {
         Self::new(arena, ResultSet::from_indices(arena.size(), members))
     }
 
@@ -442,10 +449,22 @@ mod tests {
 
         let full = ResultSet::full(n);
         let candidates = vec![
-            Candidate { term: TermId(0), contains: full.and_not(&job) },
-            Candidate { term: TermId(1), contains: full.and_not(&store) },
-            Candidate { term: TermId(2), contains: full.and_not(&location) },
-            Candidate { term: TermId(3), contains: full.and_not(&fruit) },
+            Candidate {
+                term: TermId(0),
+                contains: full.and_not(&job),
+            },
+            Candidate {
+                term: TermId(1),
+                contains: full.and_not(&store),
+            },
+            Candidate {
+                term: TermId(2),
+                contains: full.and_not(&location),
+            },
+            Candidate {
+                term: TermId(3),
+                contains: full.and_not(&fruit),
+            },
         ];
         let arena = ExpansionArena::from_parts(vec![1.0; n], candidates);
         let cluster = ResultSet::from_indices(n, 0..8);
@@ -530,7 +549,10 @@ mod tests {
             &[d0, d1, d2],
             None,
             &[apple],
-            &ArenaConfig { candidate_fraction: 1.0, min_candidates: 0 },
+            &ArenaConfig {
+                candidate_fraction: 1.0,
+                min_candidates: 0,
+            },
         );
         let names: Vec<&str> = arena
             .candidates
@@ -538,7 +560,10 @@ mod tests {
             .map(|c| corpus.term_name(c.term))
             .collect();
         assert!(!names.contains(&"appl"), "query term excluded: {names:?}");
-        assert!(!names.contains(&"common"), "universal term excluded: {names:?}");
+        assert!(
+            !names.contains(&"common"),
+            "universal term excluded: {names:?}"
+        );
         assert!(names.contains(&"store"));
         assert!(names.contains(&"fruit"));
     }
@@ -581,14 +606,20 @@ mod tests {
             &docs,
             None,
             &[seed],
-            &ArenaConfig { candidate_fraction: 1.0, min_candidates: 0 },
+            &ArenaConfig {
+                candidate_fraction: 1.0,
+                min_candidates: 0,
+            },
         );
         let pruned = ExpansionArena::build(
             &corpus,
             &docs,
             None,
             &[seed],
-            &ArenaConfig { candidate_fraction: 0.2, min_candidates: 1 },
+            &ArenaConfig {
+                candidate_fraction: 0.2,
+                min_candidates: 1,
+            },
         );
         assert!(pruned.num_candidates() < all.num_candidates());
         assert!(pruned.num_candidates() >= 1);

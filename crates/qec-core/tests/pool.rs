@@ -35,9 +35,11 @@ fn steal_rebalances_a_blocked_worker() {
     let n = 16;
     pool.run_indexed(n, &|i| {
         if i == 0 {
-            wait_until(Duration::from_secs(10), "peers to finish via steals", || {
-                done.load(Ordering::SeqCst) == n - 1
-            });
+            wait_until(
+                Duration::from_secs(10),
+                "peers to finish via steals",
+                || done.load(Ordering::SeqCst) == n - 1,
+            );
         }
         done.fetch_add(1, Ordering::SeqCst);
     });

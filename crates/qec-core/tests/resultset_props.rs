@@ -49,18 +49,22 @@ fn binary_ops_match_btreeset_model() {
             assert_matches(&a.and_not(&b), &(&ma - &mb), &format!("{tag} and_not"));
 
             // Counting ops against the materialised model ops.
-            assert_eq!(a.intersect_count(&b), (&ma & &mb).len(), "{tag} intersect_count");
-            assert_eq!(a.and_not_count(&b), (&ma - &mb).len(), "{tag} and_not_count");
+            assert_eq!(
+                a.intersect_count(&b),
+                (&ma & &mb).len(),
+                "{tag} intersect_count"
+            );
+            assert_eq!(
+                a.and_not_count(&b),
+                (&ma - &mb).len(),
+                "{tag} and_not_count"
+            );
             assert_eq!(
                 a.intersects(&b),
                 !(&ma & &mb).is_empty(),
                 "{tag} intersects"
             );
-            assert_eq!(
-                a.is_subset_of(&b),
-                ma.is_subset(&mb),
-                "{tag} is_subset_of"
-            );
+            assert_eq!(a.is_subset_of(&b), ma.is_subset(&mb), "{tag} is_subset_of");
         }
     }
 }

@@ -171,7 +171,10 @@ fn warmed_iskr_and_search_perform_zero_heap_allocations() {
             searcher.or_query_into(q, &mut search_scratch);
         }
         searcher.or_query_into(&queries[0], &mut search_scratch);
-        assert!(search_scratch.results() == or_warm, "warmed OR stays correct");
+        assert!(
+            search_scratch.results() == or_warm,
+            "warmed OR stays correct"
+        );
     }
     ARMED.store(false, Ordering::SeqCst);
     let counted = ALLOCATIONS.load(Ordering::SeqCst);

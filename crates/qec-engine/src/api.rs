@@ -52,6 +52,15 @@ pub enum EngineError {
     /// A per-cluster expansion task panicked. Sibling requests of the same
     /// batch are unaffected.
     ExpansionFailed,
+    /// The request's external [`CancelToken`] was tripped **manually**
+    /// (client disconnect, shutdown) while the request was still queued in
+    /// a front door — before the engine ever saw it. The engine's own
+    /// entry points never produce this: once a pipeline exists, a tripped
+    /// token *degrades* the response instead (see
+    /// [`ExpandStats::degraded`]). Produced by
+    /// `qec-ingress` when a queued request's token fires before its chunk
+    /// is dispatched.
+    Cancelled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -69,6 +78,7 @@ impl std::fmt::Display for EngineError {
             }
             Self::BuildFailed => write!(f, "pipeline build failed"),
             Self::ExpansionFailed => write!(f, "cluster expansion failed"),
+            Self::Cancelled => write!(f, "request cancelled while queued, before dispatch"),
         }
     }
 }
@@ -170,10 +180,21 @@ impl<'q> ExpandRequest<'q> {
         }
     }
 
-    /// The effective deadline as of `now`: the earlier of
-    /// [`deadline`](Self::deadline) and `now + timeout`.
+    /// The effective deadline as of `now`: the earliest of
+    /// [`deadline`](Self::deadline), `now + timeout`, and the
+    /// [`cancel`](Self::cancel) token's own deadline component. Folding
+    /// the token's deadline in means a token built with
+    /// [`CancelToken::until`] behaves exactly like a request deadline
+    /// everywhere a deadline is consulted — refused at admission once
+    /// expired, bounding single-flight cache waits — instead of only
+    /// tripping mid-expansion (manual token *flags* still degrade rather
+    /// than refuse; only the clock component is merged here).
     pub(crate) fn effective_deadline(&self, now: Instant) -> Option<Instant> {
-        match (self.deadline, self.timeout.map(|t| now + t)) {
+        let merged = match (self.deadline, self.timeout.map(|t| now + t)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match (merged, self.cancel.deadline()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }

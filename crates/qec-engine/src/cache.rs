@@ -486,12 +486,19 @@ impl SharedArenaCache {
                 if !g.failed.is_empty() {
                     let now = Instant::now();
                     g.failed.retain(|f| f.until > now);
-                    if g.failed.iter().any(|f| f.hash == hash && key.matches(&f.key)) {
+                    if g.failed
+                        .iter()
+                        .any(|f| f.hash == hash && key.matches(&f.key))
+                    {
                         let stats = self.snapshot(&g);
                         return (CacheProbe::Failed, stats);
                     }
                 }
-                match g.building.iter().find(|b| b.hash == hash && key.matches(&b.key)) {
+                match g
+                    .building
+                    .iter()
+                    .find(|b| b.hash == hash && key.matches(&b.key))
+                {
                     Some(b) => Arc::clone(&b.latch),
                     None => {
                         g.misses += 1;
@@ -777,7 +784,8 @@ impl BuildTicket<'_> {
             let mut g = self.cache.lock();
             remove_building(&mut g, &self.latch);
             // A successful build supersedes any (stale) failure memo.
-            g.failed.retain(|f| !(f.hash == hash && key.matches(&f.key)));
+            g.failed
+                .retain(|f| !(f.hash == hash && key.matches(&f.key)));
             self.cache.insert_locked(&mut g, hash, key, value, bytes);
             let retained = find(&g, hash, key).is_some();
             (self.cache.snapshot(&g), retained)
@@ -921,7 +929,10 @@ mod tests {
         assert!(cache.peek(keyed(&all[2])).is_some());
         let t4 = terms(&[9]);
         cache.insert(keyed(&t4), pipe(9));
-        assert!(cache.peek(keyed(&all[2])).is_none(), "peek is recency-neutral");
+        assert!(
+            cache.peek(keyed(&all[2])).is_none(),
+            "peek is recency-neutral"
+        );
     }
 
     #[test]
@@ -949,19 +960,28 @@ mod tests {
         assert!(cache.peek(keyed(&t112)).is_none(), "multiplicity differs");
         assert!(
             cache
-                .peek(KeyRef { k_clusters: 4, ..keyed(&t12) })
+                .peek(KeyRef {
+                    k_clusters: 4,
+                    ..keyed(&t12)
+                })
                 .is_none(),
             "k differs"
         );
         assert!(
             cache
-                .peek(KeyRef { top_k: 30, ..keyed(&t12) })
+                .peek(KeyRef {
+                    top_k: 30,
+                    ..keyed(&t12)
+                })
                 .is_none(),
             "top_k differs"
         );
         assert!(
             cache
-                .peek(KeyRef { semantics: QuerySemantics::Or, ..keyed(&t12) })
+                .peek(KeyRef {
+                    semantics: QuerySemantics::Or,
+                    ..keyed(&t12)
+                })
                 .is_none(),
             "semantics differ"
         );
@@ -1119,8 +1139,7 @@ mod tests {
 
     #[test]
     fn failed_build_is_memoized_then_expires() {
-        let cache =
-            SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_millis(40));
+        let cache = SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_millis(40));
         let t = terms(&[1]);
         let (probe, _) = cache.get_or_build_with_stats(keyed(&t));
         let CacheProbe::Miss(ticket) = probe else {
@@ -1129,7 +1148,10 @@ mod tests {
         ticket.fail();
         // Within the TTL: fail fast, no new build, no wait.
         let (probe2, stats) = cache.get_or_build_with_stats(keyed(&t));
-        assert!(matches!(probe2, CacheProbe::Failed), "fresh memo fails fast");
+        assert!(
+            matches!(probe2, CacheProbe::Failed),
+            "fresh memo fails fast"
+        );
         assert_eq!(stats.build_failures, 1);
         // After the TTL: the next prober retries the build, and a
         // successful publish serves hits again.
@@ -1174,8 +1196,7 @@ mod tests {
 
     #[test]
     fn voluntary_ticket_drop_does_not_memoize() {
-        let cache =
-            SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_secs(3600));
+        let cache = SharedArenaCache::new(8).with_failure_ttl(std::time::Duration::from_secs(3600));
         let t = terms(&[1]);
         let (probe, _) = cache.get_or_build_with_stats(keyed(&t));
         drop(probe); // bail without fail(): no memo
@@ -1261,6 +1282,10 @@ mod tests {
             cache.insert(keyed(&t), pipe(i as usize));
         }
         let g = cache.lock();
-        assert!(g.slots.len() <= 3, "slab bounded near capacity: {}", g.slots.len());
+        assert!(
+            g.slots.len() <= 3,
+            "slab bounded near capacity: {}",
+            g.slots.len()
+        );
     }
 }

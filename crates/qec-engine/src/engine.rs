@@ -280,6 +280,7 @@ impl QecEngine {
     ///   (memoized briefly so the key's waiters don't stampede); a
     ///   panicking expansion kernel → [`EngineError::ExpansionFailed`].
     ///   The engine stays serviceable either way.
+    #[must_use = "dropping the Result silently discards sheds and failures; handle the EngineError"]
     pub fn try_expand(&self, req: &ExpandRequest<'_>) -> Result<ExpandResponse, EngineError> {
         let now = Instant::now();
         let deadline = req.effective_deadline(now);
@@ -334,6 +335,36 @@ impl QecEngine {
     /// Serves a batch of expansion requests, returning one
     /// `Result<ExpandResponse, EngineError>` per request in request order.
     /// See [`try_expand_batch_into`](Self::try_expand_batch_into).
+    ///
+    /// Responses come back **in request order** regardless of how the
+    /// members fare individually — shed, degraded and served requests
+    /// keep their slots:
+    ///
+    /// ```
+    /// use std::time::{Duration, Instant};
+    /// use qec_engine::{DocumentSpec, EngineBuilder, EngineError, ExpandRequest};
+    ///
+    /// let engine = EngineBuilder::new()
+    ///     .document(DocumentSpec::text("pie", "apple fruit pie baking recipe"))
+    ///     .document(DocumentSpec::text("inc", "apple iphone store cupertino"))
+    ///     .build();
+    /// let reqs = [
+    ///     ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") },
+    ///     // This member is refused (deadline lapsed before admission)…
+    ///     ExpandRequest {
+    ///         deadline: Some(Instant::now() - Duration::from_millis(1)),
+    ///         ..ExpandRequest::new("apple")
+    ///     },
+    ///     ExpandRequest { k_clusters: 2, ..ExpandRequest::new("pie") },
+    /// ];
+    /// let results = engine.try_expand_batch(&reqs);
+    /// // …but slot `i` still answers request `i`.
+    /// assert_eq!(results.len(), 3);
+    /// assert_eq!(results[0].as_ref().unwrap().clusters().len(), 2);
+    /// assert_eq!(results[1].as_ref().unwrap_err(), &EngineError::DeadlineExceeded);
+    /// assert!(results[2].is_ok());
+    /// ```
+    #[must_use = "dropping the Results silently discards per-request sheds and failures"]
     pub fn try_expand_batch(
         &self,
         reqs: &[ExpandRequest<'_>],
@@ -673,7 +704,12 @@ impl QecEngine {
             if g.error.is_some() {
                 continue;
             }
-            let k = g.pipeline.as_ref().expect("live group has a pipeline").clusters.len();
+            let k = g
+                .pipeline
+                .as_ref()
+                .expect("live group has a pipeline")
+                .clusters
+                .len();
             for _ in 0..k {
                 b.task_req.push(i as u32);
             }
@@ -1111,8 +1147,12 @@ fn fill_slot(
             .extend(cc.cluster.iter().take(limit).map(|j| pipeline.docs[j]));
     } else if let Some(first) = cc.rank.select(&cc.cluster, req.member_offset) {
         // A page beyond the member count stays empty.
-        slot.docs
-            .extend(cc.cluster.iter_from(first).take(limit).map(|j| pipeline.docs[j]));
+        slot.docs.extend(
+            cc.cluster
+                .iter_from(first)
+                .take(limit)
+                .map(|j| pipeline.docs[j]),
+        );
     }
     slot.added.clear();
     slot.added
@@ -1127,6 +1167,11 @@ fn lock<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
 }
 
 /// Builds a [`QecEngine`] from documents or a prebuilt [`Corpus`].
+///
+/// The `#[must_use]` on the type makes every chained setter warn when its
+/// return value is dropped — an unfinished builder (`.cache_capacity(8);`
+/// without rebinding) silently configures nothing.
+#[must_use = "builder setters return the updated builder; finish with build() or build_shared()"]
 pub struct EngineBuilder {
     source: Source,
     config: EngineConfig,
@@ -1315,5 +1360,13 @@ impl EngineBuilder {
             batches: Mutex::new(Vec::new()),
             result_bufs: Mutex::new(Vec::new()),
         }
+    }
+
+    /// [`build`](Self::build), shared: returns the engine behind an
+    /// [`Arc`] so long-lived serving layers — the `qec-ingress` front
+    /// door, per-connection handler threads — can hold the same engine
+    /// without a scoped borrow.
+    pub fn build_shared(self) -> Arc<QecEngine> {
+        Arc::new(self.build())
     }
 }

@@ -29,9 +29,21 @@ fn engine() -> QecEngine {
 /// and a no-result query.
 fn workload() -> Vec<ExpandRequest<'static>> {
     vec![
-        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
-        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apples") },
-        ExpandRequest { k_clusters: 3, top_k: 30, ..ExpandRequest::new("farm cider") },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apples")
+        },
+        ExpandRequest {
+            k_clusters: 3,
+            top_k: 30,
+            ..ExpandRequest::new("farm cider")
+        },
         ExpandRequest {
             k_clusters: 4,
             top_k: 50,
@@ -39,14 +51,31 @@ fn workload() -> Vec<ExpandRequest<'static>> {
             ..ExpandRequest::new("  APPLE ,")
         },
         ExpandRequest::new("zebra"),
-        ExpandRequest { k_clusters: 2, top_k: 20, ..ExpandRequest::new("tech market") },
-        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
+        ExpandRequest {
+            k_clusters: 2,
+            top_k: 20,
+            ..ExpandRequest::new("tech market")
+        },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
     ]
 }
 
 /// The comparable half of a response: everything except the cache-counter
 /// snapshot (which legitimately differs between serving orders).
-fn essence(r: &ExpandResponse) -> (Vec<ClusterExpansion>, usize, usize, usize, bool, &'static str) {
+fn essence(
+    r: &ExpandResponse,
+) -> (
+    Vec<ClusterExpansion>,
+    usize,
+    usize,
+    usize,
+    bool,
+    &'static str,
+) {
     (
         r.clusters().to_vec(),
         r.stats.results,
@@ -94,18 +123,29 @@ fn warm_batches_match_sequential_and_hit_everywhere() {
 fn batch_of_identical_cold_keys_builds_once() {
     let e = engine();
     let reqs: Vec<ExpandRequest<'_>> = (0..8)
-        .map(|_| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") })
+        .map(|_| ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        })
         .collect();
     let resps = e.expand_batch(&reqs);
     let stats = e.cache_stats();
-    assert_eq!(stats.misses, 1, "one build for eight identical cold requests");
+    assert_eq!(
+        stats.misses, 1,
+        "one build for eight identical cold requests"
+    );
     assert_eq!(stats.entries, 1);
     // The representative reports the cold build; every duplicate reports
     // a hit — exactly as a sequential replay would.
     assert!(!resps[0].stats.arena_cache_hit);
     assert!(resps[1..].iter().all(|r| r.stats.arena_cache_hit));
     for r in &resps[1..] {
-        assert_eq!(r.clusters(), resps[0].clusters(), "duplicates share the build");
+        assert_eq!(
+            r.clusters(),
+            resps[0].clusters(),
+            "duplicates share the build"
+        );
     }
 }
 
@@ -120,7 +160,11 @@ fn concurrent_batches_of_one_cold_key_single_flight_to_one_build() {
             scope.spawn(move || {
                 barrier.wait();
                 let reqs: Vec<ExpandRequest<'_>> = (0..4)
-                    .map(|_| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") })
+                    .map(|_| ExpandRequest {
+                        k_clusters: 4,
+                        top_k: 50,
+                        ..ExpandRequest::new("apple")
+                    })
                     .collect();
                 let resps = e.expand_batch(&reqs);
                 assert_eq!(resps.len(), 4);
@@ -145,7 +189,11 @@ fn batch_max_chunking_preserves_results() {
         .expand_batch(&reqs);
     assert_eq!(chunked.len(), whole.len());
     for (i, (a, b)) in chunked.iter().zip(&whole).enumerate() {
-        assert_eq!(a.clusters(), b.clusters(), "request {i} diverged under chunking");
+        assert_eq!(
+            a.clusters(),
+            b.clusters(),
+            "request {i} diverged under chunking"
+        );
     }
 }
 
@@ -160,7 +208,11 @@ fn pool_less_engine_serves_batches_sequentially_with_same_results() {
     assert_eq!(unpooled_engine.pool_threads(), 0);
     let unpooled = unpooled_engine.expand_batch(&reqs);
     for (i, (a, b)) in unpooled.iter().zip(&pooled).enumerate() {
-        assert_eq!(a.clusters(), b.clusters(), "request {i} diverged without a pool");
+        assert_eq!(
+            a.clusters(),
+            b.clusters(),
+            "request {i} diverged without a pool"
+        );
     }
 }
 
@@ -171,7 +223,11 @@ fn cache_disabled_batches_rebuild_every_request_like_sequential() {
     // request may claim a cache hit — exactly what sequential serving of
     // the same stream reports.
     let reqs: Vec<ExpandRequest<'_>> = (0..4)
-        .map(|_| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") })
+        .map(|_| ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        })
         .collect();
     let uncached = || {
         EngineBuilder::new()
@@ -202,7 +258,11 @@ fn empty_batch_is_a_no_op() {
 #[test]
 fn member_pagination_slices_the_full_member_list() {
     let e = engine();
-    let base = ExpandRequest { k_clusters: 3, top_k: 40, ..ExpandRequest::new("apple") };
+    let base = ExpandRequest {
+        k_clusters: 3,
+        top_k: 40,
+        ..ExpandRequest::new("apple")
+    };
     let full = e.expand(&base);
     for (offset, limit) in [(0, 2), (1, 3), (2, 0), (0, 1000), (3, 1)] {
         let page = e.expand(&ExpandRequest {
@@ -217,9 +277,11 @@ fn member_pagination_slices_the_full_member_list() {
         assert_eq!(page.clusters().len(), full.clusters().len());
         for (c, (got, want)) in page.clusters().iter().zip(full.clusters()).enumerate() {
             let take = if limit == 0 { usize::MAX } else { limit };
-            let expect: Vec<_> =
-                want.docs.iter().skip(offset).take(take).copied().collect();
-            assert_eq!(got.docs, expect, "cluster {c} page (offset {offset}, limit {limit})");
+            let expect: Vec<_> = want.docs.iter().skip(offset).take(take).copied().collect();
+            assert_eq!(
+                got.docs, expect,
+                "cluster {c} page (offset {offset}, limit {limit})"
+            );
             // Pagination shapes the member list only — expansion output
             // is untouched.
             assert_eq!(got.added, want.added);
@@ -227,7 +289,10 @@ fn member_pagination_slices_the_full_member_list() {
         }
     }
     // A page starting beyond the member count is empty.
-    let beyond = e.expand(&ExpandRequest { member_offset: 10_000, ..base.clone() });
+    let beyond = e.expand(&ExpandRequest {
+        member_offset: 10_000,
+        ..base.clone()
+    });
     assert!(beyond.clusters().iter().all(|c| c.docs.is_empty()));
     assert_eq!(beyond.clusters().len(), full.clusters().len());
 }
@@ -235,11 +300,23 @@ fn member_pagination_slices_the_full_member_list() {
 #[test]
 fn member_pagination_applies_to_batches_too() {
     let e = engine();
-    let base = ExpandRequest { k_clusters: 3, top_k: 40, ..ExpandRequest::new("apple") };
+    let base = ExpandRequest {
+        k_clusters: 3,
+        top_k: 40,
+        ..ExpandRequest::new("apple")
+    };
     let full = e.expand(&base);
     let paged = e.expand_batch(&[
-        ExpandRequest { member_offset: 0, member_limit: 2, ..base.clone() },
-        ExpandRequest { member_offset: 2, member_limit: 2, ..base.clone() },
+        ExpandRequest {
+            member_offset: 0,
+            member_limit: 2,
+            ..base.clone()
+        },
+        ExpandRequest {
+            member_offset: 2,
+            member_limit: 2,
+            ..base.clone()
+        },
     ]);
     for (r, off) in paged.iter().zip([0usize, 2]) {
         for (got, want) in r.clusters().iter().zip(full.clusters()) {
@@ -250,4 +327,70 @@ fn member_pagination_applies_to_batches_too() {
     // All three requests (the cold probe + both pages) shared one entry.
     assert_eq!(e.cache_stats().entries, 1);
     assert_eq!(e.cache_stats().misses, 1);
+}
+
+#[test]
+fn responses_stay_in_request_order_with_mixed_shed_degraded_ok_members() {
+    use std::time::{Duration, Instant};
+
+    use qec_engine::{CancelToken, EngineError};
+
+    let e = engine();
+    // Distinct queries with distinct shapes, so a slot answering the
+    // wrong request is detectable by content, not just by index.
+    let ok_a = ExpandRequest {
+        k_clusters: 4,
+        top_k: 50,
+        ..ExpandRequest::new("apple")
+    };
+    let ok_b = ExpandRequest {
+        k_clusters: 2,
+        top_k: 20,
+        ..ExpandRequest::new("tech market")
+    };
+    for req in [&ok_a, &ok_b] {
+        e.recycle(e.expand(req));
+    }
+    let clean_a = e.expand(&ok_a);
+    let clean_b = e.expand(&ok_b);
+
+    // Slot 1 is shed (deadline lapsed before admission), slot 2 is
+    // degraded whole (pre-tripped token: admitted, but every cluster
+    // task observes the trip), slots 0 and 3 are served.
+    let (cancel, trip) = CancelToken::manual();
+    trip.cancel();
+    let reqs = [
+        ok_a.clone(),
+        ExpandRequest {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..ExpandRequest::new("farm cider")
+        },
+        ExpandRequest {
+            cancel,
+            ..ok_a.clone()
+        },
+        ok_b.clone(),
+    ];
+    let results = e.try_expand_batch(&reqs);
+    assert_eq!(results.len(), reqs.len(), "one slot per request");
+
+    let a = results[0].as_ref().expect("slot 0 served");
+    assert_eq!(a.clusters(), clean_a.clusters(), "slot 0 answers request 0");
+    assert!(!a.stats.degraded);
+
+    assert_eq!(
+        results[1].as_ref().unwrap_err(),
+        &EngineError::DeadlineExceeded,
+        "slot 1 carries its own refusal, not a neighbour's response"
+    );
+
+    let d = results[2]
+        .as_ref()
+        .expect("a tripped token degrades, never errors");
+    assert!(d.stats.degraded, "slot 2 degraded");
+    assert_eq!(d.clusters().len(), 0, "pre-tripped: empty finished prefix");
+
+    let b = results[3].as_ref().expect("slot 3 served");
+    assert_eq!(b.clusters(), clean_b.clusters(), "slot 3 answers request 3");
+    assert!(!b.stats.degraded);
 }

@@ -44,17 +44,46 @@ fn engine() -> QecEngine {
 /// Five requests with five distinct cache keys.
 fn workload() -> Vec<ExpandRequest<'static>> {
     vec![
-        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
-        ExpandRequest { k_clusters: 3, top_k: 30, ..ExpandRequest::new("farm cider") },
-        ExpandRequest { k_clusters: 2, top_k: 20, ..ExpandRequest::new("tech market") },
-        ExpandRequest { k_clusters: 3, top_k: 40, ..ExpandRequest::new("apple harvest") },
-        ExpandRequest { k_clusters: 2, top_k: 25, ..ExpandRequest::new("gadget1 chip1") },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
+        ExpandRequest {
+            k_clusters: 3,
+            top_k: 30,
+            ..ExpandRequest::new("farm cider")
+        },
+        ExpandRequest {
+            k_clusters: 2,
+            top_k: 20,
+            ..ExpandRequest::new("tech market")
+        },
+        ExpandRequest {
+            k_clusters: 3,
+            top_k: 40,
+            ..ExpandRequest::new("apple harvest")
+        },
+        ExpandRequest {
+            k_clusters: 2,
+            top_k: 25,
+            ..ExpandRequest::new("gadget1 chip1")
+        },
     ]
 }
 
 /// The comparable half of a response (everything but the cache-counter
 /// snapshot, which legitimately differs between serving orders).
-fn essence(r: &ExpandResponse) -> (Vec<ClusterExpansion>, usize, usize, usize, bool, &'static str) {
+fn essence(
+    r: &ExpandResponse,
+) -> (
+    Vec<ClusterExpansion>,
+    usize,
+    usize,
+    usize,
+    bool,
+    &'static str,
+) {
     (
         r.clusters().to_vec(),
         r.stats.results,
@@ -93,7 +122,11 @@ fn poisoned_build_fails_alone_and_recovers_after_ttl() {
         } else {
             let resp = result.as_ref().expect("siblings unaffected");
             // Bit-identical to what a clean (warm) serve produces now.
-            assert_eq!(essence(resp), essence(&engine.expand(&reqs[i])), "sibling {i}");
+            assert_eq!(
+                essence(resp),
+                essence(&engine.expand(&reqs[i])),
+                "sibling {i}"
+            );
         }
     }
     assert!(engine.cache_stats().build_failures >= 1);
@@ -102,12 +135,18 @@ fn poisoned_build_fails_alone_and_recovers_after_ttl() {
     // failpoint is spent — a rebuild would *succeed*), just a fast error.
     let memoized = engine.try_expand(&reqs[victim]);
     assert_eq!(memoized.unwrap_err(), EngineError::BuildFailed);
-    assert_eq!(qec_failpoint::hits(guard.name()), 1, "no rebuild inside the TTL");
+    assert_eq!(
+        qec_failpoint::hits(guard.name()),
+        1,
+        "no rebuild inside the TTL"
+    );
     drop(guard);
 
     // After the TTL the next request retries and the key heals.
     std::thread::sleep(ttl + Duration::from_millis(20));
-    let healed = engine.try_expand(&reqs[victim]).expect("key heals after TTL");
+    let healed = engine
+        .try_expand(&reqs[victim])
+        .expect("key heals after TTL");
     assert!(!healed.stats.degraded);
     assert!(healed.clusters().iter().any(|c| !c.added.is_empty()));
 }
@@ -143,7 +182,11 @@ fn panicked_expansion_task_fails_exactly_one_request() {
     // The engine (pool included) is fully serviceable afterwards.
     let again = engine.try_expand_batch(&reqs);
     for (i, result) in again.iter().enumerate() {
-        assert_eq!(essence(result.as_ref().unwrap()), clean[i], "request {i} after fault");
+        assert_eq!(
+            essence(result.as_ref().unwrap()),
+            clean[i],
+            "request {i} after fault"
+        );
     }
 }
 
@@ -151,9 +194,16 @@ fn panicked_expansion_task_fails_exactly_one_request() {
 fn impatient_waiter_times_out_without_disturbing_the_build() {
     let _s = serial();
     let engine = engine();
-    let req = ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") };
+    let req = ExpandRequest {
+        k_clusters: 4,
+        top_k: 50,
+        ..ExpandRequest::new("apple")
+    };
     {
-        let _g = arm("engine.build_pipeline", FailAction::Delay(Duration::from_millis(250)));
+        let _g = arm(
+            "engine.build_pipeline",
+            FailAction::Delay(Duration::from_millis(250)),
+        );
         std::thread::scope(|s| {
             let builder = s.spawn(|| engine.try_expand(&req));
             // Let the builder claim the key's single-flight ticket, then
@@ -164,7 +214,10 @@ fn impatient_waiter_times_out_without_disturbing_the_build() {
                 ..req.clone()
             });
             assert_eq!(waiter.unwrap_err(), EngineError::DeadlineExceeded);
-            let built = builder.join().unwrap().expect("builder unaffected by the waiter");
+            let built = builder
+                .join()
+                .unwrap()
+                .expect("builder unaffected by the waiter");
             assert!(!built.stats.degraded);
         });
     }
@@ -194,7 +247,11 @@ fn batch_dispatch_fault_sheds_the_chunk_then_recovers() {
     }
     let served = engine.try_expand_batch(&reqs);
     for (i, result) in served.iter().enumerate() {
-        assert_eq!(essence(result.as_ref().unwrap()), clean[i], "request {i} after shed");
+        assert_eq!(
+            essence(result.as_ref().unwrap()),
+            clean[i],
+            "request {i} after shed"
+        );
     }
 }
 
@@ -205,9 +262,16 @@ fn saturated_engine_sheds_with_overloaded() {
         .documents(corpus_docs())
         .max_in_flight(1)
         .build();
-    let cold = ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") };
+    let cold = ExpandRequest {
+        k_clusters: 4,
+        top_k: 50,
+        ..ExpandRequest::new("apple")
+    };
     {
-        let _g = arm("engine.build_pipeline", FailAction::Delay(Duration::from_millis(200)));
+        let _g = arm(
+            "engine.build_pipeline",
+            FailAction::Delay(Duration::from_millis(200)),
+        );
         std::thread::scope(|s| {
             let holder = s.spawn(|| engine.try_expand(&cold));
             std::thread::sleep(Duration::from_millis(60));
@@ -215,7 +279,10 @@ fn saturated_engine_sheds_with_overloaded() {
             let shed = engine.try_expand(&ExpandRequest::new("farm cider"));
             assert_eq!(
                 shed.unwrap_err(),
-                EngineError::Overloaded { in_flight: 1, max_in_flight: 1 }
+                EngineError::Overloaded {
+                    in_flight: 1,
+                    max_in_flight: 1
+                }
             );
             holder.join().unwrap().expect("admitted request unaffected");
         });
@@ -244,7 +311,13 @@ fn batch_admission_sheds_per_request_not_per_batch() {
             assert!(result.is_ok(), "request {i} admitted");
         } else {
             assert!(
-                matches!(result, Err(EngineError::Overloaded { max_in_flight: 2, .. })),
+                matches!(
+                    result,
+                    Err(EngineError::Overloaded {
+                        max_in_flight: 2,
+                        ..
+                    })
+                ),
                 "request {i} shed: {result:?}"
             );
         }

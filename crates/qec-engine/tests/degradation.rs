@@ -10,8 +10,7 @@
 use std::time::{Duration, Instant};
 
 use qec_engine::{
-    CancelToken, DocumentSpec, EngineBuilder, EngineError, ExpandRequest, ExpandStrategy,
-    QecEngine,
+    CancelToken, DocumentSpec, EngineBuilder, EngineError, ExpandRequest, ExpandStrategy, QecEngine,
 };
 
 fn corpus_docs() -> impl Iterator<Item = DocumentSpec> {
@@ -47,7 +46,10 @@ fn degraded_response_is_a_bit_identical_prefix_wherever_the_trip_lands() {
     let whole = engine.expand(&req);
     let clean = whole.clusters().to_vec();
     let k = clean.len();
-    assert!(k >= 2, "need multiple clusters for prefixes to mean anything");
+    assert!(
+        k >= 2,
+        "need multiple clusters for prefixes to mean anything"
+    );
     engine.recycle(whole);
 
     // Race a cancel thread against the expansion at a sweep of offsets;
@@ -69,7 +71,10 @@ fn degraded_response_is_a_bit_identical_prefix_wherever_the_trip_lands() {
             }))
         };
         let resp = engine
-            .try_expand(&ExpandRequest { cancel, ..req.clone() })
+            .try_expand(&ExpandRequest {
+                cancel,
+                ..req.clone()
+            })
             .expect("cancellation degrades, never errors");
         if let Some(racer) = racer {
             racer.join().unwrap();
@@ -100,7 +105,10 @@ fn pre_tripped_token_serves_empty_degraded_response() {
     let (cancel, trip) = CancelToken::manual();
     trip.cancel();
     let resp = engine
-        .try_expand(&ExpandRequest { cancel, ..req.clone() })
+        .try_expand(&ExpandRequest {
+            cancel,
+            ..req.clone()
+        })
         .expect("a tripped token is degradation, not an error");
     assert!(resp.stats.degraded);
     assert_eq!(resp.clusters().len(), 0);
@@ -118,10 +126,20 @@ fn expired_deadline_is_refused_before_any_work() {
         deadline: Some(Instant::now() - Duration::from_millis(1)),
         ..req.clone()
     };
-    assert_eq!(engine.try_expand(&expired).unwrap_err(), EngineError::DeadlineExceeded);
-    assert_eq!(engine.cache_stats().hits, hits_before, "refused before the probe");
+    assert_eq!(
+        engine.try_expand(&expired).unwrap_err(),
+        EngineError::DeadlineExceeded
+    );
+    assert_eq!(
+        engine.cache_stats().hits,
+        hits_before,
+        "refused before the probe"
+    );
     // A generous budget serves whole.
-    let roomy = ExpandRequest { timeout: Some(Duration::from_secs(60)), ..req.clone() };
+    let roomy = ExpandRequest {
+        timeout: Some(Duration::from_secs(60)),
+        ..req.clone()
+    };
     let resp = engine.try_expand(&roomy).unwrap();
     assert!(!resp.stats.degraded);
 }
@@ -130,22 +148,42 @@ fn expired_deadline_is_refused_before_any_work() {
 fn batch_member_with_tripped_token_degrades_alone() {
     let engine = engine();
     let reqs = vec![
-        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
-        ExpandRequest { k_clusters: 3, top_k: 30, ..ExpandRequest::new("farm cider") },
-        ExpandRequest { k_clusters: 2, top_k: 20, ..ExpandRequest::new("tech market") },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
+        ExpandRequest {
+            k_clusters: 3,
+            top_k: 30,
+            ..ExpandRequest::new("farm cider")
+        },
+        ExpandRequest {
+            k_clusters: 2,
+            top_k: 20,
+            ..ExpandRequest::new("tech market")
+        },
     ];
     for req in &reqs {
         engine.recycle(engine.expand(req));
     }
-    let clean: Vec<Vec<_>> = reqs.iter().map(|r| engine.expand(r).clusters().to_vec()).collect();
+    let clean: Vec<Vec<_>> = reqs
+        .iter()
+        .map(|r| engine.expand(r).clusters().to_vec())
+        .collect();
 
     let (cancel, trip) = CancelToken::manual();
     trip.cancel();
     let mut poisoned = reqs.clone();
-    poisoned[1] = ExpandRequest { cancel, ..reqs[1].clone() };
+    poisoned[1] = ExpandRequest {
+        cancel,
+        ..reqs[1].clone()
+    };
     let results = engine.try_expand_batch(&poisoned);
     for (i, result) in results.iter().enumerate() {
-        let resp = result.as_ref().expect("cancellation degrades, never errors");
+        let resp = result
+            .as_ref()
+            .expect("cancellation degrades, never errors");
         if i == 1 {
             assert!(resp.stats.degraded);
             assert_eq!(resp.clusters().len(), 0);
@@ -160,20 +198,31 @@ fn batch_member_with_tripped_token_degrades_alone() {
 fn batch_member_with_expired_deadline_is_refused_alone() {
     let engine = engine();
     let reqs = vec![
-        ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new("apple") },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
         ExpandRequest {
             k_clusters: 3,
             top_k: 30,
             deadline: Some(Instant::now() - Duration::from_millis(1)),
             ..ExpandRequest::new("farm cider")
         },
-        ExpandRequest { k_clusters: 2, top_k: 20, ..ExpandRequest::new("tech market") },
+        ExpandRequest {
+            k_clusters: 2,
+            top_k: 20,
+            ..ExpandRequest::new("tech market")
+        },
     ];
     for req in [&reqs[0], &reqs[2]] {
         engine.recycle(engine.expand(req));
     }
     let results = engine.try_expand_batch(&reqs);
-    assert_eq!(results[1].as_ref().unwrap_err(), &EngineError::DeadlineExceeded);
+    assert_eq!(
+        results[1].as_ref().unwrap_err(),
+        &EngineError::DeadlineExceeded
+    );
     for i in [0, 2] {
         let resp = results[i].as_ref().expect("siblings served");
         assert!(!resp.stats.degraded);
@@ -181,6 +230,13 @@ fn batch_member_with_expired_deadline_is_refused_alone() {
     }
     // The refused member built nothing — its key is still cold.
     let misses_before = engine.cache_stats().misses;
-    engine.recycle(engine.expand(&ExpandRequest { deadline: None, ..reqs[1].clone() }));
-    assert_eq!(engine.cache_stats().misses, misses_before + 1, "key was never built");
+    engine.recycle(engine.expand(&ExpandRequest {
+        deadline: None,
+        ..reqs[1].clone()
+    }));
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses_before + 1,
+        "key was never built"
+    );
 }

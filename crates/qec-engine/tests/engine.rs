@@ -1,8 +1,8 @@
 //! End-to-end behaviour of the serving facade.
 
 use qec_engine::{
-    Clusterer, DocumentSpec, EngineBuilder, EngineConfig, ExpandRequest, ExpandStrategy,
-    QecEngine, QuerySemantics,
+    Clusterer, DocumentSpec, EngineBuilder, EngineConfig, ExpandRequest, ExpandStrategy, QecEngine,
+    QuerySemantics,
 };
 use qec_index::CorpusBuilder;
 
@@ -11,7 +11,10 @@ fn two_sense_engine() -> QecEngine {
     let docs = [
         ("Apple Inc", "apple computers iphone ipad store cupertino"),
         ("Apple Store", "apple store retail genius bar iphone"),
-        ("Apple earnings", "apple company quarterly earnings iphone sales"),
+        (
+            "Apple earnings",
+            "apple company quarterly earnings iphone sales",
+        ),
         ("Apple orchard", "apple fruit orchard harvest cider"),
         ("Apple pie", "apple fruit pie baking recipe cinnamon"),
         ("Apple varieties", "apple fruit varieties fuji gala orchard"),
@@ -29,7 +32,10 @@ fn two_sense_engine() -> QecEngine {
 #[test]
 fn expands_one_query_per_cluster() {
     let engine = two_sense_engine();
-    let req = ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") };
+    let req = ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new("apple")
+    };
     let resp = engine.expand(&req);
     assert_eq!(resp.clusters().len(), 2);
     assert_eq!(resp.stats.clusters, 2);
@@ -51,7 +57,10 @@ fn expands_one_query_per_cluster() {
 #[test]
 fn repeat_requests_hit_the_arena_cache() {
     let engine = two_sense_engine();
-    let req = ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") };
+    let req = ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new("apple")
+    };
     let cold = engine.expand(&req);
     assert!(!cold.stats.arena_cache_hit);
     let warm = engine.expand(&req);
@@ -59,23 +68,44 @@ fn repeat_requests_hit_the_arena_cache() {
     assert_eq!(cold.clusters(), warm.clusters(), "hit changes nothing");
     // A different strategy still hits (the cache holds pipeline state, not
     // expansion output)…
-    let pebc = engine.expand(&ExpandRequest { strategy: ExpandStrategy::Pebc, ..req.clone() });
+    let pebc = engine.expand(&ExpandRequest {
+        strategy: ExpandStrategy::Pebc,
+        ..req.clone()
+    });
     assert!(pebc.stats.arena_cache_hit);
     assert_eq!(pebc.stats.strategy, "pebc");
     // …as does any query analysing to the same terms (the cache key is the
     // analysed term list, not the raw string)…
-    let plural = engine.expand(&ExpandRequest { query: "Apples,", ..req.clone() });
-    assert!(plural.stats.arena_cache_hit, "\"Apples,\" analyses to \"appl\"");
+    let plural = engine.expand(&ExpandRequest {
+        query: "Apples,",
+        ..req.clone()
+    });
+    assert!(
+        plural.stats.arena_cache_hit,
+        "\"Apples,\" analyses to \"appl\""
+    );
     assert_eq!(plural.clusters(), warm.clusters());
     // …but a different analysed query, k, or top_k misses (the first
     // time; the shared cache then keeps each of them too).
     for miss in [
-        ExpandRequest { query: "fruit", ..req.clone() },
-        ExpandRequest { k_clusters: 3, ..req.clone() },
-        ExpandRequest { top_k: 4, ..req.clone() },
+        ExpandRequest {
+            query: "fruit",
+            ..req.clone()
+        },
+        ExpandRequest {
+            k_clusters: 3,
+            ..req.clone()
+        },
+        ExpandRequest {
+            top_k: 4,
+            ..req.clone()
+        },
     ] {
         assert!(!engine.expand(&miss).stats.arena_cache_hit, "{miss:?}");
-        assert!(engine.expand(&miss).stats.arena_cache_hit, "now cached: {miss:?}");
+        assert!(
+            engine.expand(&miss).stats.arena_cache_hit,
+            "now cached: {miss:?}"
+        );
     }
     let stats = engine.cache_stats();
     assert_eq!(stats.entries, 4, "apple + three variants");
@@ -85,14 +115,22 @@ fn repeat_requests_hit_the_arena_cache() {
 #[test]
 fn all_three_strategies_serve() {
     let engine = two_sense_engine();
-    let base = ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") };
+    let base = ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new("apple")
+    };
     let by_strategy: Vec<_> = [
         ExpandStrategy::Iskr,
         ExpandStrategy::ExactDeltaF,
         ExpandStrategy::Pebc,
     ]
     .into_iter()
-    .map(|strategy| engine.expand(&ExpandRequest { strategy, ..base.clone() }))
+    .map(|strategy| {
+        engine.expand(&ExpandRequest {
+            strategy,
+            ..base.clone()
+        })
+    })
     .collect();
     let names: Vec<_> = by_strategy.iter().map(|r| r.stats.strategy).collect();
     assert_eq!(names, vec!["iskr", "exact-df", "pebc"]);
@@ -105,7 +143,11 @@ fn all_three_strategies_serve() {
     // Exact-ΔF refines at least as well as the partial-elimination
     // baseline on every cluster (same clustering — the cache guarantees
     // it).
-    for (exact, pebc) in by_strategy[1].clusters().iter().zip(by_strategy[2].clusters()) {
+    for (exact, pebc) in by_strategy[1]
+        .clusters()
+        .iter()
+        .zip(by_strategy[2].clusters())
+    {
         assert!(exact.quality.fmeasure >= pebc.quality.fmeasure - 1e-12);
     }
 }
@@ -136,7 +178,10 @@ fn or_semantics_widen_the_arena() {
 #[test]
 fn top_k_truncates_the_arena() {
     let engine = two_sense_engine();
-    let resp = engine.expand(&ExpandRequest { top_k: 3, ..ExpandRequest::new("apple") });
+    let resp = engine.expand(&ExpandRequest {
+        top_k: 3,
+        ..ExpandRequest::new("apple")
+    });
     assert_eq!(resp.stats.results, 3);
     let total: usize = resp.clusters().iter().map(|c| c.docs.len()).sum();
     assert_eq!(total, 3);
@@ -145,13 +190,20 @@ fn top_k_truncates_the_arena() {
 #[test]
 fn response_recycling_preserves_results() {
     let engine = two_sense_engine();
-    let req = ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") };
+    let req = ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new("apple")
+    };
     let first = engine.expand(&req);
     let first_clusters = first.clusters().to_vec();
     engine.recycle(first);
     // The recycled buffers must not leak stale state into a smaller
     // response.
-    let small = engine.expand(&ExpandRequest { top_k: 2, k_clusters: 1, ..req.clone() });
+    let small = engine.expand(&ExpandRequest {
+        top_k: 2,
+        k_clusters: 1,
+        ..req.clone()
+    });
     assert!(small.clusters().len() <= 2);
     engine.recycle(small);
     let again = engine.expand(&req);
@@ -175,7 +227,10 @@ fn prebuilt_corpus_and_custom_config() {
     config.kmeans.seed = 99;
     let engine = EngineBuilder::from_corpus(corpus).config(config).build();
     assert_eq!(engine.config().iskr.max_iters, 3);
-    let resp = engine.expand(&ExpandRequest { k_clusters: 2, ..ExpandRequest::new("shared") });
+    let resp = engine.expand(&ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new("shared")
+    });
     assert_eq!(resp.stats.results, 20);
     assert!(resp.clusters().len() <= 2);
 }
@@ -209,12 +264,13 @@ impl Clusterer for RoundRobin {
 #[test]
 fn custom_clusterer_plugs_into_the_engine() {
     let engine = EngineBuilder::new()
-        .documents(
-            (0..6).map(|i| DocumentSpec::text("", format!("shared word{i}"))),
-        )
+        .documents((0..6).map(|i| DocumentSpec::text("", format!("shared word{i}"))))
         .clusterer(Box::new(RoundRobin))
         .build();
-    let resp = engine.expand(&ExpandRequest { k_clusters: 3, ..ExpandRequest::new("shared") });
+    let resp = engine.expand(&ExpandRequest {
+        k_clusters: 3,
+        ..ExpandRequest::new("shared")
+    });
     assert_eq!(resp.clusters().len(), 3);
     for c in resp.clusters() {
         assert_eq!(c.docs.len(), 2, "round-robin deals evenly");
@@ -224,7 +280,10 @@ fn custom_clusterer_plugs_into_the_engine() {
 #[test]
 fn concurrent_sessions_are_deterministic() {
     let engine = two_sense_engine();
-    let req = ExpandRequest { k_clusters: 2, ..ExpandRequest::new("apple") };
+    let req = ExpandRequest {
+        k_clusters: 2,
+        ..ExpandRequest::new("apple")
+    };
     let baseline = engine.expand(&req);
     std::thread::scope(|scope| {
         for _ in 0..4 {

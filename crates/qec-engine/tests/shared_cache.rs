@@ -2,9 +2,7 @@
 //! (bit-identical results + hot hit rates), engine-level LRU eviction, and
 //! analysed-key normalization.
 
-use qec_engine::{
-    DocumentSpec, EngineBuilder, ExpandRequest, QecEngine, QuerySemantics,
-};
+use qec_engine::{DocumentSpec, EngineBuilder, ExpandRequest, QecEngine, QuerySemantics};
 
 /// A three-sense corpus where "apple", "fruit" and "store" each retrieve a
 /// non-trivial, clusterable result set.
@@ -75,7 +73,11 @@ fn concurrent_sessions_share_one_cache() {
 
     let after = engine.cache_stats();
     let total = (THREADS * ROUNDS * QUERIES.len()) as u64;
-    assert_eq!(after.hits - before.hits, total, "warmed traffic is all hits");
+    assert_eq!(
+        after.hits - before.hits,
+        total,
+        "warmed traffic is all hits"
+    );
     assert_eq!(after.misses, before.misses, "no rebuilds under load");
     assert_eq!(after.entries, QUERIES.len());
 }
@@ -104,7 +106,10 @@ fn cold_stampede_builds_exactly_once() {
     });
 
     let stats = engine.cache_stats();
-    assert_eq!(stats.misses, 1, "single-flight: exactly one build per hot key");
+    assert_eq!(
+        stats.misses, 1,
+        "single-flight: exactly one build per hot key"
+    );
     assert_eq!(stats.hits, (THREADS - 1) as u64, "every other racer hits");
     assert_eq!(stats.entries, 1);
 }
@@ -130,7 +135,14 @@ fn byte_budget_bounds_memory_under_mixed_topk() {
         .build();
     let reference = engine_with(90, 128);
 
-    let queries = ["apple", "fruit", "store", "apple fruit", "fruit store", "apple store"];
+    let queries = [
+        "apple",
+        "fruit",
+        "store",
+        "apple fruit",
+        "fruit store",
+        "apple store",
+    ];
     for _ in 0..3 {
         for q in &queries {
             for top_k in [8, 40] {
@@ -149,11 +161,17 @@ fn byte_budget_bounds_memory_under_mixed_topk() {
 
     let stats = engine.cache_stats();
     assert!(stats.evictions > 0, "byte pressure must evict");
-    assert!(stats.entries < queries.len() * 2, "cannot hold the whole key set");
+    assert!(
+        stats.entries < queries.len() * 2,
+        "cannot hold the whole key set"
+    );
 
     // The MRU entry survives the pressure, and responses stay
     // bit-identical to an unbounded engine's.
-    let last = ExpandRequest { top_k: 40, ..req("apple store") };
+    let last = ExpandRequest {
+        top_k: 40,
+        ..req("apple store")
+    };
     let r = engine.expand(&last);
     assert!(r.stats.arena_cache_hit, "MRU key still cached");
     assert_eq!(r.clusters(), reference.expand(&last).clusters());
@@ -214,7 +232,10 @@ fn engine_cache_evicts_lru_and_rebuilds() {
     assert!(cold("store"), "third distinct query");
     assert_eq!(engine.cache_stats().evictions, 1, "fruit was the LRU");
     assert!(!cold("apple"), "apple survived the eviction");
-    assert!(cold("fruit"), "fruit was evicted and rebuilds (evicting store)");
+    assert!(
+        cold("fruit"),
+        "fruit was evicted and rebuilds (evicting store)"
+    );
     let stats = engine.cache_stats();
     assert_eq!(stats.entries, 2);
     assert_eq!(stats.evictions, 2);
@@ -248,15 +269,24 @@ fn analysed_key_normalization() {
         (req("apple fruit store"), "extra term"),
         (req("apple apple fruit"), "term multiplicity"),
         (
-            ExpandRequest { k_clusters: 2, ..req("apple fruit") },
+            ExpandRequest {
+                k_clusters: 2,
+                ..req("apple fruit")
+            },
             "different k",
         ),
         (
-            ExpandRequest { top_k: 10, ..req("apple fruit") },
+            ExpandRequest {
+                top_k: 10,
+                ..req("apple fruit")
+            },
             "different top_k",
         ),
         (
-            ExpandRequest { semantics: QuerySemantics::Or, ..req("apple fruit") },
+            ExpandRequest {
+                semantics: QuerySemantics::Or,
+                ..req("apple fruit")
+            },
             "different semantics",
         ),
     ] {
@@ -294,10 +324,16 @@ fn fanout_path_matches_sequential() {
         fanout_min_clusters: 1, // every request fans out
         ..Default::default()
     };
-    let fanned = EngineBuilder::new().documents(docs()).config(config).build();
+    let fanned = EngineBuilder::new()
+        .documents(docs())
+        .config(config)
+        .build();
 
     for k in [2, 4, 6] {
-        let r = ExpandRequest { k_clusters: k, ..req("apple") };
+        let r = ExpandRequest {
+            k_clusters: k,
+            ..req("apple")
+        };
         let want = sequential.expand(&r);
         let cold = fanned.expand(&r);
         assert!(!cold.stats.arena_cache_hit);
@@ -320,7 +356,11 @@ fn disabled_or_zero_capacity_cache_always_rebuilds() {
         let r = disabled.expand(&req("apple"));
         assert!(!r.stats.arena_cache_hit);
         let c = r.stats.cache;
-        assert_eq!((c.hits, c.misses, c.entries), (0, 0, 0), "cache never touched");
+        assert_eq!(
+            (c.hits, c.misses, c.entries),
+            (0, 0, 0),
+            "cache never touched"
+        );
     }
 
     let zero = EngineBuilder::new()

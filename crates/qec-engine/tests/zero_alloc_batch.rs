@@ -68,7 +68,11 @@ fn warmed_expand_batch_performs_zero_heap_allocations() {
     // arena size so warmed expansion scratches never retarget.
     let reqs: Vec<ExpandRequest<'_>> = ["apple", "apples", "  APPLE ,"]
         .into_iter()
-        .map(|query| ExpandRequest { k_clusters: 4, top_k: 50, ..ExpandRequest::new(query) })
+        .map(|query| ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new(query)
+        })
         .collect();
 
     let mut responses: Vec<ExpandResponse> = Vec::new();
@@ -104,7 +108,10 @@ fn warmed_expand_batch_performs_zero_heap_allocations() {
         engine.expand_batch_into(&reqs, &mut responses);
         for (r, want) in responses.iter().zip(&expected) {
             assert!(r.stats.arena_cache_hit);
-            assert!(r.clusters() == *want, "warmed batch serving stays deterministic");
+            assert!(
+                r.clusters() == *want,
+                "warmed batch serving stays deterministic"
+            );
         }
         recycle_all(&engine, &mut responses);
     }

@@ -108,7 +108,10 @@ fn warmed_engine_expand_performs_zero_heap_allocations() {
             for req in &reqs {
                 let resp = engine.expand(req);
                 assert!(resp.stats.arena_cache_hit);
-                assert!(resp.clusters() == expected, "warmed serving stays deterministic");
+                assert!(
+                    resp.clusters() == expected,
+                    "warmed serving stays deterministic"
+                );
                 engine.recycle(resp);
             }
         }

@@ -203,8 +203,14 @@ mod tests {
     fn error_action_returns_typed_failure_until_guard_drops() {
         let _s = serial();
         let guard = arm("tests.err", FailAction::Error);
-        assert_eq!(check("tests.err"), Err(InjectedFailure { site: "tests.err" }));
-        assert_eq!(check("tests.err").unwrap_err().to_string(), "injected failure at failpoint `tests.err`");
+        assert_eq!(
+            check("tests.err"),
+            Err(InjectedFailure { site: "tests.err" })
+        );
+        assert_eq!(
+            check("tests.err").unwrap_err().to_string(),
+            "injected failure at failpoint `tests.err`"
+        );
         assert_eq!(hits("tests.err"), 2);
         drop(guard);
         assert_eq!(check("tests.err"), Ok(()));
@@ -240,7 +246,11 @@ mod tests {
         let _g = arm("tests.delay", FailAction::Delay(Duration::from_millis(30)));
         let t0 = Instant::now();
         assert_eq!(check("tests.delay"), Ok(()));
-        assert!(t0.elapsed() >= Duration::from_millis(25), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "{:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

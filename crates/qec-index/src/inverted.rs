@@ -63,7 +63,10 @@ impl InvertedIndex {
                 self.lists.resize_with(idx + 1, Vec::new);
             }
             let list = &mut self.lists[idx];
-            debug_assert!(list.last().is_none_or(|p| p.doc < doc), "doc ids must increase");
+            debug_assert!(
+                list.last().is_none_or(|p| p.doc < doc),
+                "doc ids must increase"
+            );
             list.push(Posting { doc, tf });
             self.total_postings += 1;
         }

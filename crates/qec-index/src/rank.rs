@@ -121,7 +121,7 @@ mod tests {
         let r = TfIdfRanker::new(&c);
         let java = c.keyword_term("java").unwrap(); // df 3
         let coffee = c.keyword_term("coffee").unwrap(); // df 1
-        // d3 contains both once; coffee must contribute more.
+                                                        // d3 contains both once; coffee must contribute more.
         let s_java = c.index().idf(java);
         let s_coffee = c.index().idf(coffee);
         assert!(s_coffee > s_java);

@@ -36,9 +36,7 @@ use std::collections::BinaryHeap;
 
 use crate::corpus::Corpus;
 use crate::doc::DocId;
-use crate::postings::{
-    intersect_sorted_into, retain_in_bitmap, DocBitmap, PostingsView,
-};
+use crate::postings::{intersect_sorted_into, retain_in_bitmap, DocBitmap, PostingsView};
 use qec_text::TermId;
 
 /// Which boolean semantics a query uses.
@@ -201,9 +199,7 @@ impl<'c> Searcher<'c> {
         if any_bitmap {
             // Union through a bitmap: word-OR the dense terms, point-insert
             // the sparse ids, decode once.
-            let acc = scratch
-                .bitmap
-                .get_or_insert_with(|| DocBitmap::empty(0));
+            let acc = scratch.bitmap.get_or_insert_with(|| DocBitmap::empty(0));
             acc.reset(index.num_docs() as usize);
             for &term in &scratch.terms {
                 match index.doc_ids(term) {
@@ -238,8 +234,7 @@ impl<'c> Searcher<'c> {
                 if scratch.cur.last() != Some(&doc) {
                     scratch.cur.push(doc);
                 }
-                let PostingsView::Sorted(ids) = index.doc_ids(scratch.or_terms[li as usize])
-                else {
+                let PostingsView::Sorted(ids) = index.doc_ids(scratch.or_terms[li as usize]) else {
                     unreachable!("or_terms holds sparse terms only")
                 };
                 let p = scratch.or_pos[li as usize] as usize;
@@ -370,10 +365,7 @@ mod tests {
         let s = Searcher::new(&c);
         let apple = c.keyword_term("apple").unwrap();
         let fruit = c.keyword_term("fruit").unwrap();
-        for res in [
-            s.and_query(&[apple, fruit]),
-            s.or_query(&[apple, fruit]),
-        ] {
+        for res in [s.and_query(&[apple, fruit]), s.or_query(&[apple, fruit])] {
             assert!(res.windows(2).all(|w| w[0] < w[1]));
         }
     }
@@ -396,8 +388,7 @@ mod tests {
         let c = hybrid_corpus();
         let s = Searcher::new(&c);
         let t = |name: &str| c.keyword_term(name).unwrap();
-        let (common, even, s129, s150) =
-            (t("common"), t("even"), t("sparse129"), t("sparse150"));
+        let (common, even, s129, s150) = (t("common"), t("even"), t("sparse129"), t("sparse150"));
         // sorted∧sorted (gallopable skew), sorted∧bitmap, bitmap∧bitmap,
         // and the full mix.
         for terms in [

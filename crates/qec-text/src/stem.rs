@@ -260,8 +260,8 @@ fn step3(w: &mut Vec<u8>) {
 /// Step 4: strip residual suffixes when `m > 1`.
 fn step4(w: &mut Vec<u8>) {
     const RULES: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
+        b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
     ];
     // `ion` requires the stem to end in `s` or `t`; handled separately but
     // in longest-match position relative to the table above.
@@ -278,10 +278,7 @@ fn step4(w: &mut Vec<u8>) {
     }
     if ends_with(w, b"ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
     }
@@ -404,7 +401,13 @@ mod tests {
 
     #[test]
     fn morphological_family_conflates() {
-        let family = ["connect", "connected", "connecting", "connection", "connections"];
+        let family = [
+            "connect",
+            "connected",
+            "connecting",
+            "connection",
+            "connections",
+        ];
         let stems: Vec<String> = family.iter().map(|w| s(w)).collect();
         assert!(stems.iter().all(|st| st == "connect"), "{stems:?}");
     }

@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn drops_apostrophes_inside_words() {
-        assert_eq!(tokenize("don't o'clock rock's"), vec!["dont", "oclock", "rocks"]);
+        assert_eq!(
+            tokenize("don't o'clock rock's"),
+            vec!["dont", "oclock", "rocks"]
+        );
     }
 
     #[test]
