@@ -46,8 +46,9 @@ fn main() {
     print_response(&engine, &query, &first);
     engine.recycle(first);
 
-    // The same request under the baseline strategies — served from the
-    // session's arena cache, so only the expansion kernel re-runs.
+    // The same request under the baseline strategies. The strategy is
+    // part of the arena-cache key, so each strategy's first serve builds
+    // its own pipeline entry (hit: false) and repeats hit it (hit: true).
     for strategy in [ExpandStrategy::Pebc, ExpandStrategy::ExactDeltaF] {
         let resp = engine.expand(&ExpandRequest {
             strategy,
@@ -60,6 +61,13 @@ fn main() {
         print_response(&engine, &query, &resp);
         engine.recycle(resp);
     }
+
+    let repeat = engine.expand(&base);
+    println!(
+        "\nrepeat strategy {} (arena cache hit: {})",
+        repeat.stats.strategy, repeat.stats.arena_cache_hit
+    );
+    engine.recycle(repeat);
 }
 
 fn print_response(engine: &QecEngine, query: &str, resp: &ExpandResponse) {

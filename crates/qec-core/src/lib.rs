@@ -28,6 +28,9 @@
 //! * [`pool`] — the long-lived work-stealing [`WorkerPool`] behind the
 //!   pooled backend: per-worker deques with steal-on-empty, an injector
 //!   queue, park/unpark idling, and a zero-allocation indexed batch mode.
+//! * [`scatter`] — scatter/gather primitives for shard-partitioned
+//!   serving: indexed per-slot scatter over the pool plus a reusable
+//!   k-way merge scratch for gathering per-shard sorted lists.
 
 pub mod bitset;
 pub mod cancel;
@@ -39,6 +42,7 @@ pub mod parallel;
 pub mod pebc;
 pub mod pool;
 pub mod problem;
+pub mod scatter;
 
 pub use bitset::ResultSet;
 // The shared kernel crate's own names, for callers that want the
@@ -59,3 +63,4 @@ pub use pebc::{pebc, pebc_into, pebc_into_cancellable, PebcConfig};
 pub use pool::{default_parallelism, WorkerPool};
 pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance, SetSlot};
 pub use qec_bitset::{Bitset, RankIndex};
+pub use scatter::{scatter_slots, MergeScratch};

@@ -86,7 +86,7 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Which [`Expander`](qec_core::Expander) strategy serves a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExpandStrategy {
     /// Iterative Single-Keyword Refinement (the paper's Algorithm 1) —
     /// the default serving strategy, allocation-free when warmed.
@@ -229,7 +229,8 @@ pub struct ExpandStats {
     pub clusters: usize,
     /// Whether this request was served from the engine's shared arena
     /// cache (another request — any session, any thread — already built
-    /// the pipeline for the same analysed terms, semantics, `k`, `top_k`)
+    /// the pipeline for the same analysed terms, semantics, `k`, `top_k`,
+    /// strategy)
     /// instead of re-running retrieval + clustering.
     pub arena_cache_hit: bool,
     /// [`Expander::name`](qec_core::Expander::name) of the serving

@@ -10,7 +10,10 @@
 //! are all term-order-invariant — means the Nth user of a hot query pays
 //! only expansion cost no matter how they spelled it. Distinct analyses
 //! never collide: the full key (terms with multiplicity, semantics,
-//! `k_clusters`, `top_k`) is compared on every probe, not just its hash.
+//! `k_clusters`, `top_k`, strategy) is compared on every probe, not just
+//! its hash. The strategy is part of the key so requests served by
+//! different [`ExpandStrategy`]s never share a pipeline entry — each
+//! strategy's responses stay attributable to its own build.
 //!
 //! Sharing model
 //! -------------
@@ -71,6 +74,8 @@ use qec_core::{ExpansionArena, RankIndex, ResultSet};
 use qec_index::{DocId, QuerySemantics};
 use qec_text::fxhash::{FxHashMap, FxHasher};
 use qec_text::TermId;
+
+use crate::api::ExpandStrategy;
 
 /// One cluster's cached expansion inputs (immutable once cached). Member
 /// documents are **not** duplicated per cluster: the cluster bitset plus
@@ -154,6 +159,9 @@ pub struct KeyRef<'a> {
     pub k_clusters: usize,
     /// Arena truncation.
     pub top_k: usize,
+    /// Serving strategy. Identical terms served by different strategies
+    /// must not share a pipeline entry.
+    pub strategy: ExpandStrategy,
 }
 
 impl KeyRef<'_> {
@@ -164,6 +172,7 @@ impl KeyRef<'_> {
         self.semantics.hash(&mut h);
         self.k_clusters.hash(&mut h);
         self.top_k.hash(&mut h);
+        self.strategy.hash(&mut h);
         h.finish()
     }
 
@@ -171,6 +180,7 @@ impl KeyRef<'_> {
         self.semantics == owned.semantics
             && self.k_clusters == owned.k_clusters
             && self.top_k == owned.top_k
+            && self.strategy == owned.strategy
             && self.terms == &owned.terms[..]
     }
 
@@ -180,6 +190,7 @@ impl KeyRef<'_> {
             semantics: self.semantics,
             k_clusters: self.k_clusters,
             top_k: self.top_k,
+            strategy: self.strategy,
         }
     }
 }
@@ -190,6 +201,7 @@ struct OwnedKey {
     semantics: QuerySemantics,
     k_clusters: usize,
     top_k: usize,
+    strategy: ExpandStrategy,
 }
 
 /// Snapshot of the cache's cumulative counters and occupancy.
@@ -877,6 +889,7 @@ mod tests {
             semantics: QuerySemantics::And,
             k_clusters: 5,
             top_k: 0,
+            strategy: ExpandStrategy::Iskr,
         }
     }
 
@@ -984,6 +997,15 @@ mod tests {
                 })
                 .is_none(),
             "semantics differ"
+        );
+        assert!(
+            cache
+                .peek(KeyRef {
+                    strategy: ExpandStrategy::Pebc,
+                    ..keyed(&t12)
+                })
+                .is_none(),
+            "strategy differs"
         );
         assert_eq!(cache.stats().entries, 1);
     }

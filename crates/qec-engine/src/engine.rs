@@ -27,18 +27,19 @@
 //! per-cluster fan-out instead.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, SparseVec};
 use qec_core::{
     default_parallelism, expand_shared_clusters_pooled_into, expand_shared_clusters_with,
-    CancelToken, DisjointSlots, ExactDeltaF, ExpandedQuery, Expander, ExpansionArena, Iskr,
-    IskrScratch, Pebc, QecInstance, ResultSet, ScratchPool, WorkerPool,
+    scatter_slots, CancelToken, DisjointSlots, ExactDeltaF, ExpandedQuery, Expander,
+    ExpansionArena, Iskr, IskrScratch, MergeScratch, Pebc, QecInstance, ResultSet, ScratchPool,
+    WorkerPool,
 };
 use qec_index::{
-    Corpus, CorpusBuilder, DocId, DocumentSpec, QuerySemantics, SearchScratch, Searcher,
+    Corpus, CorpusBuilder, DocId, DocumentSpec, Hit, QuerySemantics, SearchScratch, Searcher,
     TfIdfRanker,
 };
 use qec_text::TermId;
@@ -138,6 +139,57 @@ struct BatchScratch {
     task_state: Vec<u8>,
 }
 
+/// The scatter half of a sharded deployment: N doc-partitioned child
+/// engines plus the per-shard buffers and counters the gather side needs.
+/// Held by the gather [`QecEngine`]; assembled by
+/// `ShardedEngineBuilder` (see [`crate::shard`]).
+pub(crate) struct ShardSet {
+    /// One full engine per contiguous-`DocId` shard, in shard order. Each
+    /// is independently servable (its responses then rank by shard-local
+    /// statistics); the gather engine's scatter path uses only their
+    /// corpora and retrieval scratches.
+    pub(crate) shards: Vec<QecEngine>,
+    /// Global `DocId` of each shard's local doc 0 (`bases[i] =
+    /// Σ len(shard < i)`): the offset translation applied to scattered
+    /// hits before the merge.
+    pub(crate) bases: Vec<u32>,
+    /// Pooled per-shard hit buffers for scatter tasks — reused across cold
+    /// builds so a warmed scatter pays no per-request hit allocation.
+    hit_bufs: ScratchPool<Vec<Hit>>,
+    /// Scattered retrievals served per shard (rolled up into
+    /// `ShardedStats`).
+    pub(crate) retrievals: Vec<AtomicU64>,
+}
+
+impl ShardSet {
+    /// Wraps shard engines (in shard order), deriving each shard's global
+    /// `DocId` base from the cumulative corpus sizes.
+    pub(crate) fn new(shards: Vec<QecEngine>) -> Self {
+        let mut bases = Vec::with_capacity(shards.len());
+        let mut base = 0u32;
+        for shard in &shards {
+            bases.push(base);
+            base += shard.corpus().num_docs() as u32;
+        }
+        let retrievals = shards.iter().map(|_| AtomicU64::new(0)).collect();
+        Self {
+            shards,
+            bases,
+            hit_bufs: ScratchPool::new(),
+            retrievals,
+        }
+    }
+}
+
+/// Strict total order of the global ranking: score descending, `DocId`
+/// ascending on ties (scores are finite, doc ids unique). The k-way gather
+/// merge and the shard-side selection both order by exactly this, which is
+/// what makes merged shard rankings bit-identical to the flat sort in
+/// [`TfIdfRanker::rank`].
+fn hit_before(a: &Hit, b: &Hit) -> bool {
+    a.score > b.score || (a.score == b.score && a.doc < b.doc)
+}
+
 /// The unified serving facade over retrieve → rank → cluster → expand.
 ///
 /// Shared by reference across threads: `expand` takes `&self`; sessions
@@ -157,8 +209,17 @@ pub struct QecEngine {
     /// not something to pay on the serving hot path).
     fanout_threads: usize,
     /// The persistent work-stealing pool serving fan-outs and batches;
-    /// `None` falls back to scoped threads / sequential batches.
-    pool: Option<WorkerPool>,
+    /// `None` falls back to scoped threads / sequential batches. `Arc`d so
+    /// a sharded deployment runs every shard engine and the gather engine
+    /// on **one** pool instead of oversubscribing the machine N+1 times.
+    pool: Option<Arc<WorkerPool>>,
+    /// Doc-partitioned shard set — present only on the **gather** engine
+    /// assembled by `ShardedEngineBuilder`. When set, cold pipeline builds
+    /// scatter retrieval + ranking across the shard engines and merge the
+    /// per-shard top-k lists; everything downstream (clustering, arena,
+    /// expansion) runs on the gather side against the full corpus, which
+    /// this engine still owns (so term statistics stay global).
+    shards: Option<ShardSet>,
     /// Shared expansion scratches for pool tasks.
     scratches: ScratchPool,
     /// Shared retrieval scratches for **pooled cold builds**: when a batch
@@ -314,7 +375,13 @@ impl QecEngine {
     /// Worker threads of the persistent pool (`0` when the pool is
     /// disabled and serving falls back to scoped threads).
     pub fn pool_threads(&self) -> usize {
-        self.pool.as_ref().map_or(0, WorkerPool::threads)
+        self.pool.as_deref().map_or(0, WorkerPool::threads)
+    }
+
+    /// The shard set when this is the gather engine of a sharded
+    /// deployment (see [`crate::shard::ShardedEngine`]).
+    pub(crate) fn shard_set(&self) -> Option<&ShardSet> {
+        self.shards.as_ref()
     }
 
     /// Serves a batch of expansion requests, returning one response per
@@ -433,7 +500,7 @@ impl QecEngine {
         out: &mut Vec<Result<ExpandResponse, EngineError>>,
     ) {
         out.clear();
-        match &self.pool {
+        match self.pool.as_deref() {
             Some(pool) => {
                 let chunk_max = match self.config.pool.batch_max {
                     0 => reqs.len().max(1),
@@ -505,8 +572,8 @@ impl QecEngine {
         }
 
         // Analyse every admitted request and group identical (terms,
-        // semantics, k_clusters, top_k) keys; pagination fields shape the
-        // response only and deliberately stay out of the key. With the
+        // semantics, k_clusters, top_k, strategy) keys; pagination fields
+        // shape the response only and deliberately stay out of the key. With the
         // cache disabled every request forms its own group — "rebuilds
         // every request" is the documented contract, and collapsing
         // duplicates would diverge from what the same stream reports
@@ -534,6 +601,7 @@ impl QecEngine {
                     rep.semantics == req.semantics
                         && rep.k_clusters == req.k_clusters
                         && rep.top_k == req.top_k
+                        && rep.strategy == req.strategy
                         && b.sessions[g.rep].terms == b.sessions[i].terms
                 })
             } else {
@@ -594,6 +662,7 @@ impl QecEngine {
                 semantics: req.semantics,
                 k_clusters: req.k_clusters,
                 top_k: req.top_k,
+                strategy: req.strategy,
             };
             match self.cache.get_or_build_deadline(key, wait) {
                 (CacheProbe::Hit(p), stats) => {
@@ -636,6 +705,7 @@ impl QecEngine {
                     semantics: req.semantics,
                     k_clusters: req.k_clusters,
                     top_k: req.top_k,
+                    strategy: req.strategy,
                 };
                 let mut search = self.build_scratches.acquire();
                 match self.build_guarded(req, terms, &mut search) {
@@ -659,7 +729,11 @@ impl QecEngine {
                     }
                 }
             };
-            if cold.len() >= 2 {
+            // Sharded cold builds must stay on the submitter: each one
+            // scatters its own indexed batch across the pool, and
+            // `run_indexed` from inside a pool task would deadlock
+            // (the submitter parks without helping drain the batch).
+            if cold.len() >= 2 && self.shards.is_none() {
                 let n = cold.len();
                 let slots = DisjointSlots::new(&mut cold[..]);
                 pool.run_indexed(n, &|i| {
@@ -668,7 +742,9 @@ impl QecEngine {
                     do_build(unsafe { slots.get(i) });
                 });
             } else {
-                do_build(&mut cold[0]);
+                for cb in cold.iter_mut() {
+                    do_build(cb);
+                }
             }
             for cb in cold.drain(..) {
                 let g = &mut b.groups[cb.group];
@@ -901,6 +977,7 @@ impl QecEngine {
             semantics: req.semantics,
             k_clusters: req.k_clusters,
             top_k: req.top_k,
+            strategy: req.strategy,
         };
 
         let caching = self.config.cache.enabled && self.cache.capacity() > 0;
@@ -943,7 +1020,7 @@ impl QecEngine {
         let k = pipeline.clusters.len();
         resp.begin(k);
         let use_fanout = k >= self.config.fanout_min_clusters;
-        let completed = if let Some(pool) = self.pool.as_ref().filter(|_| use_fanout) {
+        let completed = if let Some(pool) = self.pool.as_deref().filter(|_| use_fanout) {
             // Big k: per-cluster fan-out through the persistent pool.
             // Allocates (parts/output bookkeeping) but wins wall-clock
             // when expansion dominates the request — the common case on
@@ -1063,6 +1140,12 @@ impl QecEngine {
     /// immutable; the caller wraps it in an `Arc` and (when caching)
     /// publishes it to the shared cache. All miss-path allocations happen
     /// here and in the cache insert.
+    ///
+    /// When this engine gathers a [`ShardSet`], retrieval + ranking
+    /// scatter across the shards (see [`scatter_retrieve`]
+    /// (Self::scatter_retrieve)); the downstream pipeline — vectors,
+    /// clustering, arena — runs unchanged on the gather engine's full
+    /// corpus, which speaks global [`DocId`]s.
     fn build_pipeline(
         &self,
         req: &ExpandRequest<'_>,
@@ -1070,16 +1153,21 @@ impl QecEngine {
         search: &mut SearchScratch,
     ) -> CachedPipeline {
         let corpus = &self.corpus;
-        let searcher = Searcher::new(corpus);
-        match req.semantics {
-            QuerySemantics::And => searcher.and_query_into(terms, search),
-            QuerySemantics::Or => searcher.or_query_into(terms, search),
-        }
-
-        let mut hits = TfIdfRanker::new(corpus).rank(search.results(), terms);
-        if req.top_k > 0 {
-            hits.truncate(req.top_k);
-        }
+        let hits: Vec<Hit> = match &self.shards {
+            Some(shard_set) => self.scatter_retrieve(shard_set, req, terms),
+            None => {
+                let searcher = Searcher::new(corpus);
+                match req.semantics {
+                    QuerySemantics::And => searcher.and_query_into(terms, search),
+                    QuerySemantics::Or => searcher.or_query_into(terms, search),
+                }
+                let mut hits = TfIdfRanker::new(corpus).rank(search.results(), terms);
+                if req.top_k > 0 {
+                    hits.truncate(req.top_k);
+                }
+                hits
+            }
+        };
         let result_docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
         let weights: Vec<f64> = hits.iter().map(|h| h.score).collect();
 
@@ -1113,6 +1201,66 @@ impl QecEngine {
             docs: result_docs,
             clusters,
         }
+    }
+
+    /// Sharded retrieval + ranking: scatters one retrieve/rank task per
+    /// shard across the shared pool and k-way merges the per-shard top-K
+    /// lists into one globally ranked prefix.
+    ///
+    /// Bit-parity with the single-engine path holds because (a) every
+    /// shard scores with the **gather** corpus's idf (global document
+    /// frequencies, computed here once per query term), accumulating
+    /// tf·idf contributions in the same terms-slice order as
+    /// [`TfIdfRanker::rank`]; (b) the comparator (score desc, `DocId`
+    /// asc) is a total order, so per-shard exact top-K plus a k-way merge
+    /// reproduces the global sort's prefix exactly; and (c) shard-local
+    /// doc ids translate to global ones by adding the shard's base
+    /// offset, which preserves each shard's ascending order.
+    fn scatter_retrieve(
+        &self,
+        shard_set: &ShardSet,
+        req: &ExpandRequest<'_>,
+        terms: &[TermId],
+    ) -> Vec<Hit> {
+        let index = self.corpus.index();
+        let idfs: Vec<f64> = terms.iter().map(|&t| index.idf(t)).collect();
+        let n = shard_set.shards.len();
+        let mut bufs: Vec<Vec<Hit>> = (0..n).map(|_| shard_set.hit_bufs.acquire()).collect();
+        scatter_slots(self.pool.as_deref(), &mut bufs, |i, hits| {
+            #[cfg(feature = "failpoints")]
+            if qec_failpoint::check("shard.retrieve").is_err() {
+                panic!("injected shard retrieval fault");
+            }
+            shard_set.retrievals[i].fetch_add(1, Ordering::Relaxed);
+            let shard = &shard_set.shards[i];
+            let mut search = shard.build_scratches.acquire();
+            let searcher = Searcher::new(&shard.corpus);
+            match req.semantics {
+                QuerySemantics::And => searcher.and_query_into(terms, &mut search),
+                QuerySemantics::Or => searcher.or_query_into(terms, &mut search),
+            }
+            TfIdfRanker::new(&shard.corpus).rank_with_idf_into(
+                search.results(),
+                terms,
+                &idfs,
+                req.top_k,
+                hits,
+            );
+            shard.build_scratches.release(search);
+            let base = shard_set.bases[i];
+            for hit in hits.iter_mut() {
+                hit.doc = DocId(hit.doc.0 + base);
+            }
+        });
+        let mut merged = Vec::new();
+        {
+            let lists: Vec<&[Hit]> = bufs.iter().map(|b| b.as_slice()).collect();
+            MergeScratch::new().merge_into(&lists, hit_before, req.top_k, &mut merged);
+        }
+        for buf in bufs {
+            shard_set.hit_bufs.release(buf);
+        }
+        merged
     }
 }
 
@@ -1176,6 +1324,13 @@ pub struct EngineBuilder {
     source: Source,
     config: EngineConfig,
     clusterer: Option<Box<dyn Clusterer>>,
+    /// A pool to serve on instead of spawning a private one — how every
+    /// engine of a [`ShardedEngine`](crate::ShardedEngine) shares one set
+    /// of workers. Ignored when `config.pool.enabled` is false.
+    shared_pool: Option<Arc<WorkerPool>>,
+    /// Shards for this engine to gather (set only on a
+    /// [`ShardedEngine`](crate::ShardedEngine)'s gather engine).
+    shards: Option<ShardSet>,
 }
 
 enum Source {
@@ -1197,6 +1352,8 @@ impl EngineBuilder {
             source: Source::Building(CorpusBuilder::new()),
             config: EngineConfig::default(),
             clusterer: None,
+            shared_pool: None,
+            shards: None,
         }
     }
 
@@ -1207,6 +1364,8 @@ impl EngineBuilder {
             source: Source::Prebuilt(corpus),
             config: EngineConfig::default(),
             clusterer: None,
+            shared_pool: None,
+            shards: None,
         }
     }
 
@@ -1318,8 +1477,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Serves on `pool` instead of spawning a private one (respected only
+    /// while `config.pool.enabled` holds). How a [`ShardedEngine`]
+    /// (crate::ShardedEngine) runs every shard and its gather engine on
+    /// one set of workers.
+    pub(crate) fn shared_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
+    /// Attaches the shards this engine gathers (sharded construction
+    /// only).
+    pub(crate) fn shards(mut self, shards: ShardSet) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// Freezes the corpus (if building) and assembles the engine,
-    /// spawning the worker pool when enabled.
+    /// spawning the worker pool when enabled (or adopting the shared one).
     pub fn build(self) -> QecEngine {
         let corpus = match self.source {
             Source::Building(b) => b.build(),
@@ -1332,10 +1507,13 @@ impl EngineBuilder {
         // One process-wide parallelism probe feeds both the scoped-thread
         // fallback and the pool-size default.
         let parallelism = default_parallelism();
+        let shared_pool = self.shared_pool;
         let pool = config.pool.enabled.then(|| {
-            WorkerPool::new(match config.pool.threads {
-                0 => parallelism,
-                t => t,
+            shared_pool.unwrap_or_else(|| {
+                Arc::new(WorkerPool::new(match config.pool.threads {
+                    0 => parallelism,
+                    t => t,
+                }))
             })
         });
         QecEngine {
@@ -1349,6 +1527,7 @@ impl EngineBuilder {
                 t => t,
             },
             pool,
+            shards: self.shards,
             scratches: ScratchPool::new(),
             build_scratches: ScratchPool::new(),
             in_flight: AtomicUsize::new(0),

@@ -60,6 +60,15 @@
 //! ([`ExpandRequest::member_offset`] / [`ExpandRequest::member_limit`])
 //! jump straight to the requested page.
 //!
+//! # Sharded serving
+//!
+//! [`ShardedEngine`] (built with [`ShardedEngineBuilder`]) partitions the
+//! corpus into N contiguous-doc-id shards behind the **same API, served
+//! bit-identically**: cold retrieval scatters per-shard ranking (global
+//! idf, exact top-K) across one shared pool and k-way merges the global
+//! ranking; everything else — cache, batching, deadlines, degradation —
+//! is the single engine's machinery. See the [`shard`] module docs.
+//!
 //! # Failure semantics
 //!
 //! The serving path is deadline-aware and fault-isolated. Each
@@ -91,6 +100,7 @@ pub mod api;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod shard;
 
 pub use api::{
     ClusterExpansion, EngineError, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy,
@@ -98,6 +108,7 @@ pub use api::{
 pub use cache::{BuildTicket, CacheProbe, CacheStats, SharedArenaCache};
 pub use config::{AdmissionConfig, CacheConfig, EngineConfig, PoolConfig};
 pub use engine::{EngineBuilder, QecEngine};
+pub use shard::{ShardStats, ShardedEngine, ShardedEngineBuilder, ShardedStats};
 
 // Re-export the vocabulary types a facade caller needs, so simple servers
 // depend on `qec-engine` alone.

@@ -1,0 +1,389 @@
+//! Doc-partitioned scatter/gather serving.
+//!
+//! A [`ShardedEngine`] splits one corpus into `N` contiguous-
+//! [`DocId`](qec_index::DocId) shards and serves the same request/response API as a single
+//! [`QecEngine`], bit-identically. Internally it is one **gather engine**
+//! over the full corpus whose cold retrieval path scatters one
+//! retrieve+rank task per shard across one shared
+//! [`WorkerPool`], then k-way merges the per-shard
+//! top-K lists into the global ranking:
+//!
+//! ```text
+//!                 ┌────────────────────────────┐
+//!   request ────▶ │ gather engine (full corpus)│
+//!                 │  admission · cache · batch │
+//!                 └─────┬──────────────────────┘
+//!            cold miss  │ scatter (shared WorkerPool)
+//!          ┌────────────┼────────────┐
+//!          ▼            ▼            ▼
+//!     ┌─────────┐  ┌─────────┐  ┌─────────┐
+//!     │ shard 0 │  │ shard 1 │  │ shard 2 │   retrieve + rank top-K
+//!     │docs 0..a│  │docs a..b│  │docs b..n│   with **global** idf
+//!     └────┬────┘  └────┬────┘  └────┬────┘
+//!          └────────────┼────────────┘
+//!                       ▼ k-way merge (score desc, DocId asc)
+//!            cluster → arena → expand  (gather engine, global DocIds)
+//! ```
+//!
+//! Everything above the retrieval stage — admission control, the shared
+//! arena cache, single-flight builds, batching, deadlines, cancellation,
+//! degraded responses — is the gather engine's existing machinery,
+//! unchanged. Parity with the single-engine path is exact (not
+//! approximate) because every shard scores with the gather corpus's
+//! global document frequencies and the ranking comparator is a total
+//! order; `tests/sharding_parity.rs` asserts bit-identity across shard
+//! counts, strategies, and pagination.
+
+use std::sync::Arc;
+
+use qec_cluster::Clusterer;
+use qec_core::{default_parallelism, WorkerPool};
+use qec_index::{Corpus, CorpusBuilder, DocumentSpec};
+
+use crate::api::{EngineError, ExpandRequest, ExpandResponse};
+use crate::cache::CacheStats;
+use crate::config::EngineConfig;
+use crate::engine::{EngineBuilder, QecEngine, ShardSet};
+
+/// A doc-partitioned [`QecEngine`]: same API, same responses, with cold
+/// retrieval scattered across shards. Build with
+/// [`ShardedEngineBuilder`]; see the [module docs](self) for the
+/// architecture.
+pub struct ShardedEngine {
+    /// The gather engine; holds the [`ShardSet`] when `num_shards > 1`.
+    inner: QecEngine,
+    /// Shard count the builder resolved (`1` means the plain single-engine
+    /// path — no shard set is attached).
+    num_shards: usize,
+}
+
+impl ShardedEngine {
+    /// Entry point mirroring [`QecEngine::builder`].
+    pub fn builder() -> ShardedEngineBuilder {
+        ShardedEngineBuilder::new()
+    }
+
+    /// The **full** corpus (the gather engine's); shard sub-corpora are an
+    /// internal detail and share this corpus's term dictionary.
+    pub fn corpus(&self) -> &Corpus {
+        self.inner.corpus()
+    }
+
+    /// The gather engine's resolved configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.inner.config()
+    }
+
+    /// Number of shards serving the scatter stage (`1` when sharding is
+    /// effectively disabled and requests take the single-engine path).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Worker threads of the one shared pool (0 when pooling is
+    /// disabled).
+    pub fn pool_threads(&self) -> usize {
+        self.inner.pool_threads()
+    }
+
+    /// Snapshot of the gather engine's shared-cache counters (sharding
+    /// does not change cache behaviour — pipelines are cached globally,
+    /// after the merge).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
+    }
+
+    /// Rolled-up serving statistics: the gather cache snapshot plus one
+    /// [`ShardStats`] per shard.
+    pub fn stats(&self) -> ShardedStats {
+        let shards = match self.inner.shard_set() {
+            Some(set) => set
+                .shards
+                .iter()
+                .zip(&set.retrievals)
+                .map(|(shard, retrievals)| ShardStats {
+                    docs: shard.corpus().num_docs(),
+                    scattered_retrievals: retrievals.load(std::sync::atomic::Ordering::Relaxed),
+                })
+                .collect(),
+            None => vec![ShardStats {
+                docs: self.inner.corpus().num_docs(),
+                scattered_retrievals: 0,
+            }],
+        };
+        ShardedStats {
+            gather_cache: self.inner.cache_stats(),
+            shards,
+        }
+    }
+
+    /// See [`QecEngine::expand`]. Bit-identical to the single-engine
+    /// response for the same corpus and request.
+    pub fn expand(&self, req: &ExpandRequest<'_>) -> ExpandResponse {
+        self.inner.expand(req)
+    }
+
+    /// See [`QecEngine::try_expand`]. Deadlines, cancellation, admission
+    /// control, and degraded responses behave exactly as on a single
+    /// engine; a fault injected inside one shard's scatter task fails only
+    /// the requests sharing that pipeline build
+    /// ([`EngineError::BuildFailed`]).
+    pub fn try_expand(&self, req: &ExpandRequest<'_>) -> Result<ExpandResponse, EngineError> {
+        self.inner.try_expand(req)
+    }
+
+    /// See [`QecEngine::expand_batch`]. Cold groups of a sharded batch
+    /// build sequentially on the submitter — each build already scatters
+    /// its retrieval across the whole pool.
+    pub fn expand_batch(&self, reqs: &[ExpandRequest<'_>]) -> Vec<ExpandResponse> {
+        self.inner.expand_batch(reqs)
+    }
+
+    /// See [`QecEngine::try_expand_batch`].
+    pub fn try_expand_batch(
+        &self,
+        reqs: &[ExpandRequest<'_>],
+    ) -> Vec<Result<ExpandResponse, EngineError>> {
+        self.inner.try_expand_batch(reqs)
+    }
+
+    /// See [`QecEngine::expand_batch_into`].
+    pub fn expand_batch_into(&self, reqs: &[ExpandRequest<'_>], out: &mut Vec<ExpandResponse>) {
+        self.inner.expand_batch_into(reqs, out);
+    }
+
+    /// See [`QecEngine::try_expand_batch_into`].
+    pub fn try_expand_batch_into(
+        &self,
+        reqs: &[ExpandRequest<'_>],
+        out: &mut Vec<Result<ExpandResponse, EngineError>>,
+    ) {
+        self.inner.try_expand_batch_into(reqs, out);
+    }
+
+    /// See [`QecEngine::recycle`].
+    pub fn recycle(&self, resp: ExpandResponse) {
+        self.inner.recycle(resp);
+    }
+}
+
+/// One shard's share of [`ShardedStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Documents resident on this shard.
+    pub docs: usize,
+    /// Scattered retrieval tasks this shard has executed (one per cold
+    /// pipeline build of the gather engine).
+    pub scattered_retrievals: u64,
+}
+
+/// Rolled-up statistics of a [`ShardedEngine`]: the gather engine's cache
+/// counters plus per-shard placement and retrieval counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// The gather engine's shared-cache snapshot ([`CacheStats`]).
+    pub gather_cache: CacheStats,
+    /// One entry per shard, in [`DocId`](qec_index::DocId) order (shard 0
+    /// holds the lowest global doc ids).
+    pub shards: Vec<ShardStats>,
+}
+
+/// Builds a [`ShardedEngine`] from documents or a prebuilt [`Corpus`],
+/// mirroring [`EngineBuilder`]'s knobs plus
+/// [`num_shards`](Self::num_shards).
+///
+/// | knob | default | effect |
+/// |------|---------|--------|
+/// | [`num_shards`](Self::num_shards) | `1` | contiguous doc-id partitions; `1` serves the plain single-engine path |
+/// | [`config`](Self::config) | [`EngineConfig::default`] | the gather engine's full configuration |
+/// | [`cache_capacity`](Self::cache_capacity) / [`cache_enabled`](Self::cache_enabled) | `EngineConfig` defaults | the **gather** cache — shard engines never cache (their caches are disabled at build) |
+/// | [`max_in_flight`](Self::max_in_flight) | `0` (off) | admission control, enforced once at the gather front door |
+/// | [`pool_threads`](Self::pool_threads) | `0` (auto) | size of the **one** shared [`WorkerPool`] all scatter tasks run on |
+/// | [`batch_max`](Self::batch_max) | `64` | gather-side batch chunking, unchanged |
+/// | [`clusterer`](Self::clusterer) | cosine k-means | applies to the gather engine only (shards never cluster) |
+#[must_use = "builder setters return the updated builder; finish with build() or build_shared()"]
+pub struct ShardedEngineBuilder {
+    source: Source,
+    config: EngineConfig,
+    clusterer: Option<Box<dyn Clusterer>>,
+    num_shards: usize,
+}
+
+enum Source {
+    Building(CorpusBuilder),
+    Prebuilt(Corpus),
+}
+
+impl Default for ShardedEngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedEngineBuilder {
+    /// Builder over an empty corpus; add documents with
+    /// [`document`](Self::document).
+    pub fn new() -> Self {
+        Self {
+            source: Source::Building(CorpusBuilder::new()),
+            config: EngineConfig::default(),
+            clusterer: None,
+            num_shards: 1,
+        }
+    }
+
+    /// Builder over an already-built corpus.
+    pub fn from_corpus(corpus: Corpus) -> Self {
+        Self {
+            source: Source::Prebuilt(corpus),
+            config: EngineConfig::default(),
+            clusterer: None,
+            num_shards: 1,
+        }
+    }
+
+    /// Sets the shard count. Documents are partitioned contiguously and
+    /// near-evenly (first `total % n` shards hold one extra document);
+    /// `0` and `1` both mean "no sharding" and serve the plain
+    /// single-engine path.
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.num_shards = n.max(1);
+        self
+    }
+
+    /// Adds one document.
+    ///
+    /// # Panics
+    /// When the builder was created with
+    /// [`from_corpus`](Self::from_corpus) — a frozen corpus cannot take
+    /// documents.
+    pub fn document(mut self, spec: DocumentSpec) -> Self {
+        match &mut self.source {
+            Source::Building(b) => {
+                b.add_document(spec);
+            }
+            Source::Prebuilt(_) => {
+                panic!("ShardedEngineBuilder::document: corpus is prebuilt and frozen")
+            }
+        }
+        self
+    }
+
+    /// Adds many documents (see [`document`](Self::document)).
+    pub fn documents(mut self, specs: impl IntoIterator<Item = DocumentSpec>) -> Self {
+        for spec in specs {
+            self = self.document(spec);
+        }
+        self
+    }
+
+    /// Replaces the gather engine's whole pipeline configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the gather cache's capacity (see
+    /// [`EngineBuilder::cache_capacity`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache.capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the gather cache (see
+    /// [`EngineBuilder::cache_enabled`]).
+    pub fn cache_enabled(mut self, enabled: bool) -> Self {
+        self.config.cache.enabled = enabled;
+        self
+    }
+
+    /// Sets the admission bound (see [`EngineBuilder::max_in_flight`]).
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.config.admission.max_in_flight = max;
+        self
+    }
+
+    /// Sets the shared pool's thread count (see
+    /// [`EngineBuilder::pool_threads`]).
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.pool.threads = threads;
+        self
+    }
+
+    /// Enables or disables pooling entirely (see
+    /// [`EngineBuilder::pool_enabled`]); without a pool, scatter tasks run
+    /// sequentially on the requesting thread.
+    pub fn pool_enabled(mut self, enabled: bool) -> Self {
+        self.config.pool.enabled = enabled;
+        self
+    }
+
+    /// Sets the gather-side batch chunk bound (see
+    /// [`EngineBuilder::batch_max`]).
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.config.pool.batch_max = batch_max;
+        self
+    }
+
+    /// Replaces the gather engine's clusterer (shard engines retrieve and
+    /// rank only — they never cluster).
+    pub fn clusterer(mut self, clusterer: Box<dyn Clusterer>) -> Self {
+        self.clusterer = Some(clusterer);
+        self
+    }
+
+    /// Freezes the corpus, partitions it, and assembles the engine: one
+    /// shared [`WorkerPool`] (when pooling is enabled), one retrieval
+    /// engine per shard (cache, admission, and private pools disabled),
+    /// and the gather engine over the full corpus.
+    pub fn build(self) -> ShardedEngine {
+        let corpus = match self.source {
+            Source::Building(b) => b.build(),
+            Source::Prebuilt(c) => c,
+        };
+        let num_shards = self.num_shards.min(corpus.num_docs().max(1));
+        let mut gather = EngineBuilder::from_corpus(corpus.clone()).config(self.config.clone());
+        if let Some(clusterer) = self.clusterer {
+            gather = gather.clusterer(clusterer);
+        }
+        if num_shards > 1 {
+            // One pool for everything: the gather engine's fan-outs and
+            // every scattered retrieval task run on the same workers.
+            if self.config.pool.enabled {
+                let threads = match self.config.pool.threads {
+                    0 => default_parallelism(),
+                    t => t,
+                };
+                gather = gather.shared_pool(Arc::new(WorkerPool::new(threads)));
+            }
+            // Shard engines are retrieval substrates, not front doors:
+            // no cache (pipelines are cached globally by the gather
+            // engine), no admission (enforced once, upstream), no private
+            // pool (scatter already parallelizes across shards).
+            let mut shard_config = self.config.clone();
+            shard_config.cache.enabled = false;
+            shard_config.admission.max_in_flight = 0;
+            shard_config.pool.enabled = false;
+            let shards: Vec<QecEngine> = corpus
+                .split(num_shards)
+                .into_iter()
+                .map(|sub| {
+                    EngineBuilder::from_corpus(sub)
+                        .config(shard_config.clone())
+                        .build()
+                })
+                .collect();
+            gather = gather.shards(ShardSet::new(shards));
+        }
+        ShardedEngine {
+            inner: gather.build(),
+            num_shards,
+        }
+    }
+
+    /// [`build`](Self::build), shared behind an [`Arc`] for long-lived
+    /// serving layers.
+    pub fn build_shared(self) -> Arc<ShardedEngine> {
+        Arc::new(self.build())
+    }
+}

@@ -394,3 +394,54 @@ fn responses_stay_in_request_order_with_mixed_shed_degraded_ok_members() {
     assert_eq!(b.clusters(), clean_b.clusters(), "slot 3 answers request 3");
     assert!(!b.stats.degraded);
 }
+
+#[test]
+fn identical_terms_with_different_strategies_never_share_a_pipeline_entry() {
+    // Regression: batch grouping (and the shared cache) key on the
+    // strategy too. Three spellings of one analysed key served by three
+    // different strategies must build three pipelines and answer each
+    // request with **its own** strategy's expansion, not the group
+    // representative's.
+    let batch_engine = engine();
+    let reqs = vec![
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            strategy: ExpandStrategy::Pebc,
+            ..ExpandRequest::new("apples")
+        },
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            strategy: ExpandStrategy::ExactDeltaF,
+            ..ExpandRequest::new("  APPLE ,")
+        },
+    ];
+    let responses = batch_engine.expand_batch(&reqs);
+    for (resp, name) in responses.iter().zip(["iskr", "pebc", "exact-df"]) {
+        assert!(!resp.stats.arena_cache_hit, "{name}: distinct cold key");
+        assert_eq!(resp.stats.strategy, name);
+    }
+    let stats = batch_engine.cache_stats();
+    assert_eq!(
+        stats.misses, 3,
+        "three builds for three (terms, strategy) keys"
+    );
+    assert_eq!(stats.entries, 3);
+    // Each batched response is bit-identical to a sequential serve of the
+    // same request on a fresh engine.
+    let fresh = engine();
+    for (req, resp) in reqs.iter().zip(&responses) {
+        assert_eq!(essence(resp), essence(&fresh.expand(req)));
+    }
+    // The same batch again: three hits, still three entries.
+    for resp in batch_engine.expand_batch(&reqs) {
+        assert!(resp.stats.arena_cache_hit);
+    }
+    assert_eq!(batch_engine.cache_stats().entries, 3);
+}

@@ -66,16 +66,22 @@ fn repeat_requests_hit_the_arena_cache() {
     let warm = engine.expand(&req);
     assert!(warm.stats.arena_cache_hit, "same request reuses the arena");
     assert_eq!(cold.clusters(), warm.clusters(), "hit changes nothing");
-    // A different strategy still hits (the cache holds pipeline state, not
-    // expansion output)…
-    let pebc = engine.expand(&ExpandRequest {
+    // A different strategy misses: identical terms served by different
+    // strategies must not share a pipeline entry (the strategy is part of
+    // the cache key)…
+    let pebc_req = ExpandRequest {
         strategy: ExpandStrategy::Pebc,
         ..req.clone()
-    });
-    assert!(pebc.stats.arena_cache_hit);
+    };
+    let pebc = engine.expand(&pebc_req);
+    assert!(!pebc.stats.arena_cache_hit, "new strategy is a new key");
     assert_eq!(pebc.stats.strategy, "pebc");
-    // …as does any query analysing to the same terms (the cache key is the
-    // analysed term list, not the raw string)…
+    assert!(
+        engine.expand(&pebc_req).stats.arena_cache_hit,
+        "…and then caches under its own key"
+    );
+    // …but any query analysing to the same terms hits (the cache key is
+    // the analysed term list, not the raw string)…
     let plural = engine.expand(&ExpandRequest {
         query: "Apples,",
         ..req.clone()
@@ -108,7 +114,7 @@ fn repeat_requests_hit_the_arena_cache() {
         );
     }
     let stats = engine.cache_stats();
-    assert_eq!(stats.entries, 4, "apple + three variants");
+    assert_eq!(stats.entries, 5, "apple + its pebc twin + three variants");
     assert_eq!(stats.evictions, 0);
 }
 

@@ -164,10 +164,73 @@ fn warmed_engine_expand_performs_zero_heap_allocations() {
     );
 
     // The armed loops above were all hits; the only misses are the two
-    // cold builds (one per strategy... the second strategy reuses the
-    // first's entry, so exactly one).
+    // cold builds — one per strategy, because identical terms served by
+    // different strategies must not share a pipeline entry.
     let stats = engine.cache_stats();
-    assert_eq!(stats.misses, 1, "one cold build for one analysed query");
-    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.misses, 2, "one cold build per (terms, strategy) key");
+    assert_eq!(stats.entries, 2);
     assert_eq!(stats.evictions, 0);
+
+    // A warmed **sharded** serving loop is exactly as allocation-free:
+    // hits come off the gather engine's cache after the scatter/merge
+    // build, so the sharded machinery never touches the hot path — and
+    // the served clusters are bit-identical to the single engine's.
+    let sharded = qec_engine::ShardedEngineBuilder::new()
+        .documents((0..60).map(|i| {
+            let body = if i % 2 == 0 {
+                format!("apple tech gadget{} chip{} market", i % 7, i % 5)
+            } else {
+                format!("apple farm orchard{} harvest{} cider", i % 7, i % 5)
+            };
+            DocumentSpec::text("", body)
+        }))
+        .num_shards(3)
+        .build();
+    assert_eq!(sharded.num_shards(), 3);
+    let req = ExpandRequest {
+        k_clusters: 4,
+        top_k: 50,
+        ..ExpandRequest::new("apple")
+    };
+    let warm = sharded.expand(&req);
+    let baseline = engine.expand(&req);
+    assert!(baseline.stats.arena_cache_hit);
+    assert_eq!(
+        warm.clusters(),
+        baseline.clusters(),
+        "sharded serving is bit-identical to the single engine"
+    );
+    engine.recycle(baseline);
+    let expected = warm.clusters().to_vec();
+    sharded.recycle(warm);
+    let settle = sharded.expand(&req);
+    assert!(settle.stats.arena_cache_hit);
+    sharded.recycle(settle);
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        let resp = sharded.expand(&req);
+        assert!(resp.stats.arena_cache_hit);
+        assert!(
+            resp.clusters() == expected,
+            "warmed sharded serving stays deterministic"
+        );
+        sharded.recycle(resp);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        counted, 0,
+        "warmed sharded expand allocated: {counted} heap allocations counted"
+    );
+    let stats = sharded.stats();
+    assert_eq!(stats.gather_cache.misses, 1, "one scattered cold build");
+    assert_eq!(stats.shards.len(), 3);
+    assert_eq!(stats.shards.iter().map(|s| s.docs).sum::<usize>(), 60);
+    for shard in &stats.shards {
+        assert_eq!(
+            shard.scattered_retrievals, 1,
+            "every shard served the one cold build's scatter"
+        );
+    }
 }

@@ -7,6 +7,8 @@
 //! benchmarks) reads from the same frozen corpus, which is what makes the
 //! whole pipeline deterministic.
 
+use std::sync::Arc;
+
 use crate::doc::{DocId, DocumentSpec, Feature};
 use crate::inverted::InvertedIndex;
 use qec_text::{Analyzer, AnalyzerConfig, TermId};
@@ -93,7 +95,7 @@ impl CorpusBuilder {
         let mut index = self.index;
         index.finalize();
         Corpus {
-            analyzer: self.analyzer,
+            analyzer: Arc::new(self.analyzer),
             docs: self.docs,
             doc_terms: self.doc_terms,
             index,
@@ -102,9 +104,14 @@ impl CorpusBuilder {
 }
 
 /// An immutable, fully indexed document collection.
-#[derive(Debug)]
+///
+/// The analyzer (and its term dictionary) lives behind an [`Arc`] so that
+/// shards produced by [`split`](Corpus::split) share one dictionary with the
+/// parent corpus: a `TermId` means the same thing in every shard, which is
+/// what lets a gather engine analyse a query once and scatter raw term ids.
+#[derive(Debug, Clone)]
 pub struct Corpus {
-    analyzer: Analyzer,
+    analyzer: Arc<Analyzer>,
     docs: Vec<StoredDoc>,
     doc_terms: Vec<Vec<(TermId, u32)>>,
     index: InvertedIndex,
@@ -188,6 +195,47 @@ impl Corpus {
     /// Ground-truth label of `doc`, when present.
     pub fn label(&self, doc: DocId) -> Option<u32> {
         self.docs[doc.index()].label
+    }
+
+    /// Splits the corpus into `n` contiguous-`DocId` shards.
+    ///
+    /// Shard `i` holds global documents `[base(i), base(i)+len(i))` renumbered
+    /// from local `DocId(0)`; shard sizes differ by at most one (earlier
+    /// shards take the remainder). Each shard gets its own finalized
+    /// [`InvertedIndex`] rebuilt over its slice, while the analyzer — and
+    /// with it the term dictionary, so `TermId`s stay globally valid — is
+    /// shared via `Arc`. With fewer documents than shards the trailing
+    /// shards are empty, which downstream retrieval treats as "no matches".
+    ///
+    /// Note that a shard's *statistics* (`idf`, `num_docs`) are shard-local;
+    /// callers that need corpus-wide scoring across shards must supply
+    /// global statistics themselves (see `TfIdfRanker::rank_with_idf_into`
+    /// in this crate's `rank` module).
+    pub fn split(&self, n: usize) -> Vec<Corpus> {
+        let n = n.max(1);
+        let total = self.docs.len();
+        let base_len = total / n;
+        let remainder = total % n;
+        let mut shards = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for i in 0..n {
+            let len = base_len + usize::from(i < remainder);
+            let end = start + len;
+            let mut index = InvertedIndex::new();
+            for (local, terms) in self.doc_terms[start..end].iter().enumerate() {
+                index.add_document(DocId(local as u32), terms);
+            }
+            index.finalize();
+            shards.push(Corpus {
+                analyzer: Arc::clone(&self.analyzer),
+                docs: self.docs[start..end].to_vec(),
+                doc_terms: self.doc_terms[start..end].to_vec(),
+                index,
+            });
+            start = end;
+        }
+        debug_assert_eq!(start, total);
+        shards
     }
 }
 
@@ -282,6 +330,51 @@ mod tests {
         let c = small_corpus();
         assert_eq!(c.label(DocId(0)), None);
         assert_eq!(c.label(DocId(2)), Some(7));
+    }
+
+    #[test]
+    fn split_partitions_contiguously_with_balanced_sizes() {
+        let mut b = CorpusBuilder::new();
+        for i in 0..10 {
+            b.add_document(DocumentSpec::text("t", format!("word{i} shared")));
+        }
+        let c = b.build();
+        let shards = c.split(3);
+        assert_eq!(shards.len(), 3);
+        let sizes: Vec<usize> = shards.iter().map(Corpus::num_docs).collect();
+        assert_eq!(sizes, vec![4, 3, 3], "earlier shards take the remainder");
+        // Shard-local doc 0 of shard 1 is global doc 4.
+        assert_eq!(shards[1].doc(DocId(0)).len, c.doc(DocId(4)).len);
+        assert_eq!(shards[1].doc_terms(DocId(0)), c.doc_terms(DocId(4)));
+    }
+
+    #[test]
+    fn split_shards_share_the_term_dictionary() {
+        let mut b = CorpusBuilder::new();
+        for i in 0..6 {
+            b.add_document(DocumentSpec::text("t", format!("word{i} shared")));
+        }
+        let c = b.build();
+        let shared = c.keyword_term("shared").unwrap();
+        for shard in c.split(2) {
+            assert_eq!(shard.keyword_term("shared"), Some(shared));
+            assert_eq!(shard.index().df(shared), 3);
+            assert_eq!(shard.term_name(shared), c.term_name(shared));
+        }
+    }
+
+    #[test]
+    fn split_with_more_shards_than_docs_leaves_trailing_shards_empty() {
+        let mut b = CorpusBuilder::new();
+        b.add_document(DocumentSpec::text("t", "only doc"));
+        let c = b.build();
+        let shards = c.split(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0].num_docs(), 1);
+        for shard in &shards[1..] {
+            assert_eq!(shard.num_docs(), 0);
+            assert_eq!(shard.keyword_term("doc"), c.keyword_term("doc"));
+        }
     }
 
     #[test]

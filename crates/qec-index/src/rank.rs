@@ -69,6 +69,72 @@ impl<'c> TfIdfRanker<'c> {
         hits.truncate(k);
         hits
     }
+
+    /// Shard-side ranking kernel: scores `docs` (ascending `DocId`, as
+    /// produced by the searcher) for `terms` with **caller-supplied idf**
+    /// values — one per query term — and writes the best `top_k` hits into
+    /// `out` (all of them, fully sorted, when `top_k == 0`).
+    ///
+    /// Two things distinguish this from [`rank`](Self::rank):
+    ///
+    /// * **Scoring is a merge-join** of the sorted result list against each
+    ///   term's posting list — O(matches + df) per term instead of a
+    ///   per-document binary search — accumulating `tf·idf` contributions in
+    ///   term order, i.e. the exact floating-point addition order of
+    ///   [`score`](Self::score). A doc-partitioned shard passing the
+    ///   *parent* corpus's idf values therefore reproduces the global
+    ///   scores **bit-for-bit**, so a gather-side merge of per-shard top-k
+    ///   lists equals the single-engine ranking exactly.
+    /// * **Selection is bounded**: with `top_k > 0` the kernel partitions
+    ///   with `select_nth_unstable_by` and sorts only the winners —
+    ///   O(matches + k·log k) instead of the full O(matches·log matches)
+    ///   sort. The score/`DocId` comparator is a total order (doc ids are
+    ///   unique), so the selected prefix is exactly the global sort's.
+    pub fn rank_with_idf_into(
+        &self,
+        docs: &[DocId],
+        terms: &[TermId],
+        idfs: &[f64],
+        top_k: usize,
+        out: &mut Vec<Hit>,
+    ) {
+        assert_eq!(terms.len(), idfs.len(), "one idf per query term");
+        debug_assert!(docs.windows(2).all(|w| w[0] < w[1]), "docs must ascend");
+        out.clear();
+        out.extend(docs.iter().map(|&doc| Hit { doc, score: 0.0 }));
+        let index = self.corpus.index();
+        for (&t, &idf) in terms.iter().zip(idfs) {
+            let postings = index.postings(t);
+            let mut p = 0usize;
+            for hit in out.iter_mut() {
+                // Advance the posting cursor to this doc; both sides ascend.
+                while p < postings.len() && postings[p].doc < hit.doc {
+                    p += 1;
+                }
+                if p == postings.len() {
+                    break;
+                }
+                if postings[p].doc == hit.doc {
+                    hit.score += postings[p].tf as f64 * idf;
+                }
+            }
+        }
+        for hit in out.iter_mut() {
+            let len = self.corpus.doc(hit.doc).len.max(1) as f64;
+            hit.score /= (1.0 + len).ln().max(1.0);
+        }
+        let cmp = |a: &Hit, b: &Hit| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("tf-idf scores are finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        };
+        if top_k > 0 && out.len() > top_k {
+            out.select_nth_unstable_by(top_k - 1, cmp);
+            out.truncate(top_k);
+        }
+        out.sort_by(cmp);
+    }
 }
 
 /// One-call helper: AND-retrieve `query` and return ranked hits (all of
@@ -147,6 +213,43 @@ mod tests {
         let hits = r.rank(&unseen, &[]);
         let ids: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_with_idf_into_matches_rank_bit_for_bit() {
+        let c = corpus();
+        let terms = c.query_terms("java island");
+        let idfs: Vec<f64> = terms.iter().map(|&t| c.index().idf(t)).collect();
+        let r = TfIdfRanker::new(&c);
+        let docs: Vec<DocId> = Searcher::new(&c).search(&terms, QuerySemantics::Or);
+        let reference = r.rank(&docs, &terms);
+        let mut out = Vec::new();
+        r.rank_with_idf_into(&docs, &terms, &idfs, 0, &mut out);
+        assert_eq!(out, reference, "full ranking must match exactly");
+        for k in 1..=docs.len() {
+            r.rank_with_idf_into(&docs, &terms, &idfs, k, &mut out);
+            assert_eq!(out, reference[..k], "top-{k} prefix must match exactly");
+        }
+    }
+
+    #[test]
+    fn rank_with_idf_into_scores_with_the_supplied_statistics() {
+        // A shard seeing only half the corpus still produces global scores
+        // when handed the parent's idf values.
+        let c = corpus();
+        let java = c.keyword_term("java").unwrap();
+        let idfs = vec![c.index().idf(java)];
+        let shards = c.split(2);
+        let shard = &shards[0]; // holds global docs 0 and 1
+        let docs: Vec<DocId> = Searcher::new(shard).and_query(&[java]);
+        let mut out = Vec::new();
+        TfIdfRanker::new(shard).rank_with_idf_into(&docs, &[java], &idfs, 0, &mut out);
+        let global = TfIdfRanker::new(&c);
+        for hit in &out {
+            assert_eq!(hit.score, global.score(hit.doc, &[java]));
+        }
+        // Shard-local idf would differ: both shard docs contain java.
+        assert_ne!(shard.index().idf(java), c.index().idf(java));
     }
 
     #[test]
