@@ -31,8 +31,14 @@
 //! * [`scatter`] — scatter/gather primitives for shard-partitioned
 //!   serving: indexed per-slot scatter over the pool plus a reusable
 //!   k-way merge scratch for gathering per-shard sorted lists.
+//! * [`retry`] — deadline-aware capped exponential [`Backoff`] with
+//!   seeded jitter, the wait policy behind replica failover retries.
+//! * [`breaker`] — lock-free per-replica [`CircuitBreaker`]s
+//!   (closed → open → half-open) that take persistently sick replicas
+//!   out of scatter selection until they heal.
 
 pub mod bitset;
+pub mod breaker;
 pub mod cancel;
 pub mod expander;
 pub mod fmeasure;
@@ -42,9 +48,11 @@ pub mod parallel;
 pub mod pebc;
 pub mod pool;
 pub mod problem;
+pub mod retry;
 pub mod scatter;
 
 pub use bitset::ResultSet;
+pub use breaker::{BreakerState, CircuitBreaker};
 // The shared kernel crate's own names, for callers that want the
 // positional-query sidecar or to name the type universe-neutrally.
 pub use cancel::{CancelSignal, CancelToken};
@@ -63,4 +71,5 @@ pub use pebc::{pebc, pebc_into, pebc_into_cancellable, PebcConfig};
 pub use pool::{default_parallelism, WorkerPool};
 pub use problem::{ArenaConfig, CandId, Candidate, ExpansionArena, QecInstance, SetSlot};
 pub use qec_bitset::{Bitset, RankIndex};
+pub use retry::Backoff;
 pub use scatter::{scatter_slots, MergeScratch};

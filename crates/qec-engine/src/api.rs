@@ -244,6 +244,15 @@ pub struct ExpandStats {
     /// half-refined). [`clusters`](ExpandStats::clusters) counts the kept
     /// prefix.
     pub degraded: bool,
+    /// Shards whose every replica was unavailable (failed, breaker-open,
+    /// or out of retry budget) when this request's pipeline was built:
+    /// the response is **explicitly partial** — the merged ranking over
+    /// the surviving shards is intact and bit-identical to what a
+    /// healthy engine restricted to those shards would produce, but the
+    /// omitted shards' documents are absent (never a silently wrong
+    /// ranking). `0` on the flat (unsharded) path and on fully healthy
+    /// scatters. [`ExpandResponse::omitted_shards`] lists which shards.
+    pub shards_omitted: usize,
     /// Snapshot of the shared cache's cumulative hit/miss/eviction
     /// counters and occupancy, taken after this request's probe.
     pub cache: CacheStats,
@@ -258,6 +267,7 @@ pub struct ExpandStats {
 pub struct ExpandResponse {
     slots: Vec<ClusterExpansion>,
     used: usize,
+    omitted: Vec<u32>,
     /// Serving statistics for this request.
     pub stats: ExpandStats,
 }
@@ -268,6 +278,13 @@ impl ExpandResponse {
         &self.slots[..self.used]
     }
 
+    /// Indices of the shards omitted from this response (ascending; see
+    /// [`ExpandStats::shards_omitted`]). Empty on the flat path and on
+    /// fully healthy scatters.
+    pub fn omitted_shards(&self) -> &[u32] {
+        &self.omitted
+    }
+
     /// Marks `n` slots live, growing the slot pool if needed. Stale slots
     /// beyond `n` keep their buffers for future reuse.
     pub(crate) fn begin(&mut self, n: usize) {
@@ -275,6 +292,14 @@ impl ExpandResponse {
             self.slots.resize_with(n, ClusterExpansion::default);
         }
         self.used = n;
+        self.omitted.clear();
+    }
+
+    /// Records the shards this response is missing (recycles the
+    /// response's own buffer; the warmed all-healthy path copies nothing).
+    pub(crate) fn set_omitted(&mut self, shards: &[u32]) {
+        self.omitted.clear();
+        self.omitted.extend_from_slice(shards);
     }
 
     /// Mutable access to live slot `i` for the engine to fill.

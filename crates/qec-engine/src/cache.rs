@@ -121,6 +121,13 @@ pub struct CachedPipeline {
     pub docs: Vec<DocId>,
     /// Per-cluster `(C, U)` pairs and rank sidecars.
     pub clusters: Vec<CachedCluster>,
+    /// Shards whose every replica was unavailable during the scatter this
+    /// pipeline was built from (ascending shard indices; empty on the
+    /// flat path and on healthy scatters). A pipeline with omissions is
+    /// **never published** to the shared cache — it serves only the
+    /// request that built it, so the cache heals for free once the
+    /// shard recovers.
+    pub omitted_shards: Vec<u32>,
 }
 
 impl CachedPipeline {
@@ -130,6 +137,7 @@ impl CachedPipeline {
         use std::mem::size_of;
         self.arena.heap_bytes()
             + self.docs.capacity() * size_of::<DocId>()
+            + self.omitted_shards.capacity() * size_of::<u32>()
             + self
                 .clusters
                 .iter()
@@ -872,6 +880,7 @@ mod tests {
             arena: ExpansionArena::from_parts(vec![1.0; tag + 1], Vec::new()),
             docs: Vec::new(),
             clusters: Vec::new(),
+            omitted_shards: Vec::new(),
         })
     }
 

@@ -91,6 +91,56 @@ impl Default for PoolConfig {
     }
 }
 
+/// Replication + failover knobs of the sharded scatter path
+/// ([`ShardedEngine`](crate::ShardedEngine)). Only consulted when the
+/// engine carries a shard set; the flat path ignores it entirely.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Interchangeable replica engines per shard. Replicas share the
+    /// shard's corpus clone (the analyzer is `Arc`-shared, so this is
+    /// cheap) and scatter rotates across the healthy ones. `1` means no
+    /// replication: a shard whose only replica exhausts its retries is
+    /// omitted from the response.
+    pub replicas: usize,
+    /// Retries after a shard task's first failed attempt before the shard
+    /// is omitted. Each retry waits a capped-exponential
+    /// [`Backoff`](qec_core::Backoff) step and targets the rotation's next
+    /// admitted replica; a retry whose wait alone would outlive the
+    /// request's effective deadline is skipped (the shard is omitted
+    /// instead — backoff never sleeps into a guaranteed miss). `0`
+    /// disables retries.
+    pub retry_max: usize,
+    /// First backoff step (doubles per retry, jittered into
+    /// `[step/2, step]`, capped at 16× the base).
+    pub retry_base: Duration,
+    /// How long a shard's task may run before a hedged duplicate is
+    /// dispatched to another replica (first completion wins; results are
+    /// bit-identical regardless of winner). `None` adapts per replica to
+    /// ~3× its observed mean latency (EWMA), i.e. roughly the tail beyond
+    /// p95 for well-behaved latency distributions.
+    pub hedge_after: Option<Duration>,
+    /// Consecutive failures that open a replica's circuit breaker (the
+    /// replica is skipped by selection until a half-open probe succeeds).
+    /// `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses everything before admitting one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            retry_max: 2,
+            retry_base: Duration::from_micros(500),
+            hedge_after: None,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
 /// Configuration for every stage behind [`QecEngine`](crate::QecEngine).
 ///
 /// The defaults are the paper's: top-20% tf·idf candidate pruning, cosine
@@ -119,6 +169,8 @@ pub struct EngineConfig {
     pub pool: PoolConfig,
     /// Admission control / load shedding.
     pub admission: AdmissionConfig,
+    /// Replication + failover of the sharded scatter path.
+    pub replication: ReplicationConfig,
     /// Requests with at least this many non-empty clusters expand through
     /// the per-cluster fan-out (the persistent pool when one is
     /// configured, otherwise the scoped-thread
@@ -148,6 +200,7 @@ impl Default for EngineConfig {
             cache: CacheConfig::default(),
             pool: PoolConfig::default(),
             admission: AdmissionConfig::default(),
+            replication: ReplicationConfig::default(),
             fanout_min_clusters: 8,
             fanout_threads: 0,
         }

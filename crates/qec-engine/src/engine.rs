@@ -28,13 +28,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use qec_cluster::{doc_tf_vector, Clusterer, KMeansClusterer, SparseVec};
 use qec_core::{
-    default_parallelism, expand_shared_clusters_pooled_into, expand_shared_clusters_with,
-    scatter_slots, CancelToken, DisjointSlots, ExactDeltaF, ExpandedQuery, Expander,
+    default_parallelism, expand_shared_clusters_pooled_into, expand_shared_clusters_with, Backoff,
+    CancelSignal, CancelToken, CircuitBreaker, DisjointSlots, ExactDeltaF, ExpandedQuery, Expander,
     ExpansionArena, Iskr, IskrScratch, MergeScratch, Pebc, QecInstance, ResultSet, ScratchPool,
     WorkerPool,
 };
@@ -50,7 +50,7 @@ use crate::api::{
 use crate::cache::{
     BuildTicket, CacheProbe, CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache,
 };
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, ReplicationConfig};
 
 /// Flat-task outcome markers (see [`BatchScratch::task_state`]).
 const TASK_CANCELLED: u8 = 0;
@@ -139,45 +139,674 @@ struct BatchScratch {
     task_state: Vec<u8>,
 }
 
-/// The scatter half of a sharded deployment: N doc-partitioned child
-/// engines plus the per-shard buffers and counters the gather side needs.
-/// Held by the gather [`QecEngine`]; assembled by
-/// `ShardedEngineBuilder` (see [`crate::shard`]).
+/// The scatter half of a sharded deployment: N doc-partitioned shard
+/// groups (each a set of interchangeable replica engines) plus the
+/// counters and failover policy the gather side needs. Held by the gather
+/// [`QecEngine`]; assembled by `ShardedEngineBuilder` (see
+/// [`crate::shard`]).
 pub(crate) struct ShardSet {
-    /// One full engine per contiguous-`DocId` shard, in shard order. Each
-    /// is independently servable (its responses then rank by shard-local
-    /// statistics); the gather engine's scatter path uses only their
-    /// corpora and retrieval scratches.
-    pub(crate) shards: Vec<QecEngine>,
+    /// One replica group per contiguous-`DocId` shard, in shard order.
+    pub(crate) shards: Vec<ShardReplicas>,
     /// Global `DocId` of each shard's local doc 0 (`bases[i] =
     /// Σ len(shard < i)`): the offset translation applied to scattered
     /// hits before the merge.
     pub(crate) bases: Vec<u32>,
-    /// Pooled per-shard hit buffers for scatter tasks — reused across cold
-    /// builds so a warmed scatter pays no per-request hit allocation.
-    hit_bufs: ScratchPool<Vec<Hit>>,
-    /// Scattered retrievals served per shard (rolled up into
-    /// `ShardedStats`).
-    pub(crate) retrievals: Vec<AtomicU64>,
+    /// Retry / hedge / breaker policy of the scatter path.
+    pub(crate) replication: ReplicationConfig,
+}
+
+/// One shard's interchangeable replicas plus its rotation cursor and
+/// shard-level counters.
+pub(crate) struct ShardReplicas {
+    /// The replica engines, all over the same corpus slice. Each is
+    /// independently servable (its responses then rank by shard-local
+    /// statistics); the gather scatter path uses only their corpora and
+    /// retrieval scratches. `Arc`d because hedged/retried attempts run as
+    /// fire-and-forget pool jobs that may outlive the request that
+    /// spawned them.
+    pub(crate) replicas: Vec<ReplicaSlot>,
+    /// Rotation cursor: each scatter starts its replica selection at the
+    /// next position, spreading load across healthy replicas.
+    rotation: AtomicUsize,
+    /// Scattered retrievals resolved by this shard (one per request that
+    /// got this shard's list, however many attempts that took).
+    pub(crate) retrievals: AtomicU64,
+    /// Hedged duplicate tasks dispatched for this shard.
+    pub(crate) hedges: AtomicU64,
+    /// Requests that gave up on this shard (every replica failed,
+    /// breaker-refused, or out of retry budget) and served partial.
+    pub(crate) omissions: AtomicU64,
+}
+
+/// One replica engine plus its health state: circuit breaker, latency
+/// EWMA (feeds the adaptive hedge delay), and attempt counters.
+pub(crate) struct ReplicaSlot {
+    pub(crate) engine: Arc<QecEngine>,
+    /// Consecutive-failure breaker; open replicas are skipped by
+    /// selection until a half-open probe heals them.
+    pub(crate) breaker: CircuitBreaker,
+    /// EWMA of successful attempt latency, stored as `f64` bits (`0.0` =
+    /// no samples yet).
+    ewma_nanos: AtomicU64,
+    /// Successful retrieval attempts served by this replica.
+    pub(crate) retrievals: AtomicU64,
+    /// Failed retrieval attempts (panics and injected faults).
+    pub(crate) failures: AtomicU64,
+}
+
+/// EWMA smoothing factor for per-replica latency.
+const EWMA_ALPHA: f64 = 0.2;
+/// Bounds of the adaptive hedge delay (≈3× EWMA mean, clamped).
+const MIN_HEDGE: Duration = Duration::from_micros(200);
+const MAX_HEDGE: Duration = Duration::from_millis(100);
+/// Hedge delay before any latency sample exists.
+const DEFAULT_HEDGE: Duration = Duration::from_millis(2);
+/// Backoff delays double per retry up to `retry_base ×` this cap.
+const BACKOFF_CAP_FACTOR: u32 = 16;
+
+impl ReplicaSlot {
+    fn new(engine: QecEngine, replication: &ReplicationConfig) -> Self {
+        Self {
+            engine: Arc::new(engine),
+            breaker: CircuitBreaker::new(
+                replication.breaker_threshold,
+                replication.breaker_cooldown,
+            ),
+            ewma_nanos: AtomicU64::new(0),
+            retrievals: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds a successful attempt's latency into the EWMA (CAS loop —
+    /// concurrent observers both land, last writer's blend wins the race
+    /// harmlessly).
+    fn observe_latency(&self, nanos: u64) {
+        let mut cur = self.ewma_nanos.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = if old == 0.0 {
+                nanos as f64
+            } else {
+                old + EWMA_ALPHA * (nanos as f64 - old)
+            };
+            match self.ewma_nanos.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The replica's observed mean attempt latency (zero before any
+    /// sample).
+    pub(crate) fn mean_latency(&self) -> Duration {
+        Duration::from_nanos(f64::from_bits(self.ewma_nanos.load(Ordering::Relaxed)) as u64)
+    }
+
+    /// How long a task on this replica may run before a hedged duplicate
+    /// is dispatched: the configured override, or ~3× the replica's EWMA
+    /// mean — roughly the tail beyond p95 for well-behaved latency
+    /// distributions — clamped to sane bounds.
+    fn hedge_delay(&self, replication: &ReplicationConfig) -> Duration {
+        if let Some(d) = replication.hedge_after {
+            return d;
+        }
+        let mean = self.mean_latency();
+        if mean.is_zero() {
+            DEFAULT_HEDGE
+        } else {
+            (mean * 3).clamp(MIN_HEDGE, MAX_HEDGE)
+        }
+    }
 }
 
 impl ShardSet {
-    /// Wraps shard engines (in shard order), deriving each shard's global
-    /// `DocId` base from the cumulative corpus sizes.
-    pub(crate) fn new(shards: Vec<QecEngine>) -> Self {
-        let mut bases = Vec::with_capacity(shards.len());
+    /// Wraps per-shard replica groups (in shard order), deriving each
+    /// shard's global `DocId` base from the cumulative corpus sizes.
+    /// Every group must hold at least one replica, and a shard's replicas
+    /// must all cover the same corpus slice.
+    pub(crate) fn new(groups: Vec<Vec<QecEngine>>, replication: ReplicationConfig) -> Self {
+        let mut bases = Vec::with_capacity(groups.len());
         let mut base = 0u32;
-        for shard in &shards {
+        for group in &groups {
             bases.push(base);
-            base += shard.corpus().num_docs() as u32;
+            base += group
+                .first()
+                .expect("every shard needs at least one replica")
+                .corpus()
+                .num_docs() as u32;
         }
-        let retrievals = shards.iter().map(|_| AtomicU64::new(0)).collect();
+        let shards = groups
+            .into_iter()
+            .map(|group| ShardReplicas {
+                replicas: group
+                    .into_iter()
+                    .map(|e| ReplicaSlot::new(e, &replication))
+                    .collect(),
+                rotation: AtomicUsize::new(0),
+                retrievals: AtomicU64::new(0),
+                hedges: AtomicU64::new(0),
+                omissions: AtomicU64::new(0),
+            })
+            .collect();
         Self {
             shards,
             bases,
-            hit_bufs: ScratchPool::new(),
-            retrievals,
+            replication,
         }
+    }
+}
+
+/// Failpoint site covering one shard's retrieval attempts regardless of
+/// replica — how a chaos test takes a *whole shard* down.
+#[cfg(feature = "failpoints")]
+fn shard_site(shard: usize) -> &'static str {
+    const SITES: [&str; 8] = [
+        "shard.retrieve.0",
+        "shard.retrieve.1",
+        "shard.retrieve.2",
+        "shard.retrieve.3",
+        "shard.retrieve.4",
+        "shard.retrieve.5",
+        "shard.retrieve.6",
+        "shard.retrieve.7",
+    ];
+    SITES.get(shard).copied().unwrap_or("shard.retrieve.rest")
+}
+
+/// Failpoint site covering one replica *position* across all shards —
+/// how a chaos test kills or stalls "replica 0 of every shard" (the
+/// moral equivalent of one failed machine in a striped deployment).
+#[cfg(feature = "failpoints")]
+fn replica_site(replica: usize) -> &'static str {
+    const SITES: [&str; 4] = [
+        "shard.replica.retrieve.0",
+        "shard.replica.retrieve.1",
+        "shard.replica.retrieve.2",
+        "shard.replica.retrieve.3",
+    ];
+    SITES
+        .get(replica)
+        .copied()
+        .unwrap_or("shard.replica.retrieve.rest")
+}
+
+/// The read-only half of one scatter, shared by every attempt job of the
+/// request: owned copies of the query (pool jobs are `'static` — they may
+/// outlive the request as cancelled losers) plus the completion channel
+/// back to the coordinator.
+struct ScatterShared {
+    terms: Vec<TermId>,
+    idfs: Vec<f64>,
+    semantics: QuerySemantics,
+    top_k: usize,
+    completions: Mutex<Vec<Completion>>,
+    arrived: Condvar,
+}
+
+/// One attempt's report back to the scatter coordinator.
+struct Completion {
+    shard: u32,
+    replica: u32,
+    /// `Ok(hits)` on success; `Err(true)` when the attempt was cancelled
+    /// before it started (its shard already resolved); `Err(false)` on
+    /// failure (panic or injected fault).
+    outcome: Result<Vec<Hit>, bool>,
+    /// Wall-clock nanoseconds the successful attempt took (EWMA input).
+    nanos: u64,
+}
+
+/// The coordinator's per-shard progress while a scatter is in flight.
+struct ShardProgress {
+    /// The shard's globally-offset top-K list once a replica delivered it.
+    done: Option<Vec<Hit>>,
+    /// The shard gave up: every replica failed, was breaker-refused, or
+    /// the retry budget / deadline ran out.
+    omitted: bool,
+    /// Attempts currently dispatched and unreported.
+    in_flight: u32,
+    /// Retries dispatched so far (hedges don't count).
+    retries: usize,
+    /// A hedged duplicate was dispatched (at most one per shard).
+    hedged: bool,
+    /// Bitmask of replica indices already attempted — the hedge target
+    /// must be an *untried* replica. (Indices ≥ 64 never mark the mask;
+    /// hedging may then re-pick a tried replica, which is harmless.)
+    tried: u64,
+    /// Next replica index the selection scan starts from.
+    cursor: usize,
+    /// When to dispatch the hedged duplicate (set at dispatch; `None`
+    /// when hedging is off, spent, or moot).
+    hedge_at: Option<Instant>,
+    /// When to dispatch the next retry (set when all attempts failed).
+    retry_at: Option<Instant>,
+    backoff: Backoff,
+    /// Cancellation handles of the shard's outstanding attempts; fired
+    /// when the shard resolves so queued losers bail without running.
+    cancels: Vec<CancelSignal>,
+}
+
+fn replica_bit(replica: usize) -> u64 {
+    1u64.checked_shl(replica as u32).unwrap_or(0)
+}
+
+/// One retrieval attempt against one replica: the per-shard half of the
+/// old scatter closure, behind a panic boundary so a poisoned replica
+/// reports `Err` instead of tearing down its worker. Checks the legacy
+/// whole-scatter site, the per-shard site, and the per-replica site (in
+/// that order) so chaos tests can target any granularity. Scores with the
+/// **gather** corpus's idf (`idfs`), which is what keeps merged rankings
+/// bit-identical to the flat engine regardless of which replica answers.
+#[allow(clippy::too_many_arguments)]
+fn replica_attempt(
+    engine: &QecEngine,
+    base: u32,
+    shard: usize,
+    replica: usize,
+    terms: &[TermId],
+    idfs: &[f64],
+    semantics: QuerySemantics,
+    top_k: usize,
+) -> Result<Vec<Hit>, ()> {
+    #[cfg(not(feature = "failpoints"))]
+    let _ = (shard, replica);
+    catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "failpoints")]
+        {
+            if qec_failpoint::check("shard.retrieve").is_err()
+                || qec_failpoint::check(shard_site(shard)).is_err()
+                || qec_failpoint::check(replica_site(replica)).is_err()
+            {
+                return Err(());
+            }
+        }
+        let mut search = engine.build_scratches.acquire();
+        let searcher = Searcher::new(&engine.corpus);
+        match semantics {
+            QuerySemantics::And => searcher.and_query_into(terms, &mut search),
+            QuerySemantics::Or => searcher.or_query_into(terms, &mut search),
+        }
+        let mut hits = Vec::new();
+        TfIdfRanker::new(&engine.corpus).rank_with_idf_into(
+            search.results(),
+            terms,
+            idfs,
+            top_k,
+            &mut hits,
+        );
+        engine.build_scratches.release(search);
+        let base = DocId(base);
+        for hit in hits.iter_mut() {
+            hit.doc = DocId(hit.doc.0 + base.0);
+        }
+        Ok(hits)
+    }))
+    .unwrap_or(Err(()))
+}
+
+impl ShardSet {
+    /// Picks the next admitted replica of shard `si` (rotation order from
+    /// `sp.cursor`, skipping open breakers — and already-tried replicas
+    /// when `untried_only`) and dispatches one attempt for it as a
+    /// fire-and-forget pool job. Returns `false` when no replica is
+    /// admissible.
+    fn dispatch_attempt(
+        &self,
+        pool: &WorkerPool,
+        shared: &Arc<ScatterShared>,
+        si: usize,
+        sp: &mut ShardProgress,
+        untried_only: bool,
+    ) -> bool {
+        let shard = &self.shards[si];
+        let n = shard.replicas.len();
+        let now = Instant::now();
+        let mut picked = None;
+        for off in 0..n {
+            let ri = (sp.cursor + off) % n;
+            if untried_only && sp.tried & replica_bit(ri) != 0 {
+                continue;
+            }
+            if shard.replicas[ri].breaker.try_admit(now) {
+                picked = Some(ri);
+                break;
+            }
+        }
+        let Some(ri) = picked else {
+            return false;
+        };
+        sp.cursor = (ri + 1) % n;
+        sp.tried |= replica_bit(ri);
+        sp.in_flight += 1;
+        sp.hedge_at =
+            (!sp.hedged && n > 1).then(|| now + shard.replicas[ri].hedge_delay(&self.replication));
+        let (token, signal) = CancelToken::manual();
+        sp.cancels.push(signal);
+        let engine = Arc::clone(&shard.replicas[ri].engine);
+        let base = self.bases[si];
+        let sh = Arc::clone(shared);
+        pool.spawn(Box::new(move || {
+            // A queued loser whose shard already resolved bails here; an
+            // attempt already *running* when its shard resolves runs to
+            // completion and reports as a late duplicate instead (the
+            // retrieval kernels are not interruptible mid-flight).
+            let (outcome, nanos) = if token.is_cancelled() {
+                (Err(true), 0)
+            } else {
+                let t0 = Instant::now();
+                let result = replica_attempt(
+                    &engine,
+                    base,
+                    si,
+                    ri,
+                    &sh.terms,
+                    &sh.idfs,
+                    sh.semantics,
+                    sh.top_k,
+                );
+                let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                (result.map_err(|()| false), nanos)
+            };
+            let mut queue = sh.completions.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push(Completion {
+                shard: si as u32,
+                replica: ri as u32,
+                outcome,
+                nanos,
+            });
+            drop(queue);
+            sh.arrived.notify_all();
+        }));
+        true
+    }
+
+    /// The pooled scatter coordinator: dispatches one attempt per shard,
+    /// then reacts to completions and timers (retry backoff, hedge
+    /// delays) until every shard either delivered its list or was
+    /// explicitly omitted. Runs on the submitting thread; attempts are
+    /// fire-and-forget pool jobs, so a stalled replica never wedges a
+    /// worker the coordinator is waiting on.
+    ///
+    /// The request's `deadline` bounds retry *scheduling* (a backoff wait
+    /// that would outlive it omits the shard instead), but never truncates
+    /// an attempt already in flight — a deadline-shaped result here would
+    /// get cached and served to requests with laxer deadlines.
+    fn scatter_pooled(
+        &self,
+        pool: &WorkerPool,
+        terms: &[TermId],
+        idfs: &[f64],
+        semantics: QuerySemantics,
+        top_k: usize,
+        deadline: Option<Instant>,
+    ) -> (Vec<Vec<Hit>>, Vec<u32>) {
+        let n = self.shards.len();
+        let replication = &self.replication;
+        let shared = Arc::new(ScatterShared {
+            terms: terms.to_vec(),
+            idfs: idfs.to_vec(),
+            semantics,
+            top_k,
+            completions: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+        });
+        let mut progress: Vec<ShardProgress> = (0..n)
+            .map(|si| {
+                let replicas = self.shards[si].replicas.len();
+                ShardProgress {
+                    done: None,
+                    omitted: false,
+                    in_flight: 0,
+                    retries: 0,
+                    hedged: false,
+                    tried: 0,
+                    cursor: self.shards[si].rotation.fetch_add(1, Ordering::Relaxed) % replicas,
+                    hedge_at: None,
+                    retry_at: None,
+                    backoff: Backoff::new(
+                        replication.retry_base,
+                        replication.retry_base.saturating_mul(BACKOFF_CAP_FACTOR),
+                        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(si as u64 + 1),
+                    ),
+                    cancels: Vec::new(),
+                }
+            })
+            .collect();
+        let mut unresolved = n;
+        for (si, sp) in progress.iter_mut().enumerate() {
+            if !self.dispatch_attempt(pool, &shared, si, sp, false) {
+                // Every replica breaker-refused at dispatch: omitted
+                // outright (the breakers' cooldowns outlast any sane
+                // request deadline).
+                Self::omit(&self.shards[si], sp, &mut unresolved);
+            }
+        }
+        while unresolved > 0 {
+            // Fire due timers and find the earliest pending one.
+            let now = Instant::now();
+            let mut wake: Option<Instant> = None;
+            for (si, sp) in progress.iter_mut().enumerate() {
+                if sp.done.is_some() || sp.omitted {
+                    continue;
+                }
+                if let Some(at) = sp.retry_at {
+                    if at <= now {
+                        sp.retry_at = None;
+                        sp.retries += 1;
+                        if !self.dispatch_attempt(pool, &shared, si, sp, false) {
+                            Self::omit(&self.shards[si], sp, &mut unresolved);
+                            continue;
+                        }
+                    } else {
+                        wake = Some(wake.map_or(at, |w: Instant| w.min(at)));
+                    }
+                }
+                if let Some(at) = sp.hedge_at {
+                    if sp.hedged || sp.in_flight != 1 {
+                        sp.hedge_at = None;
+                    } else if at <= now {
+                        sp.hedge_at = None;
+                        if self.dispatch_attempt(pool, &shared, si, sp, true) {
+                            sp.hedged = true;
+                            self.shards[si].hedges.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        wake = Some(wake.map_or(at, |w: Instant| w.min(at)));
+                    }
+                }
+            }
+            if unresolved == 0 {
+                break;
+            }
+            // Wait for completions (or the next timer). The lock is held
+            // from the emptiness check into the wait, so a completion
+            // arriving in between cannot be missed.
+            let mut queue = shared.completions.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.is_empty() {
+                queue = match wake {
+                    Some(at) if at > now => {
+                        shared
+                            .arrived
+                            .wait_timeout(queue, at - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                    // A timer is already due: loop back and fire it.
+                    Some(_) => queue,
+                    None => shared
+                        .arrived
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner()),
+                };
+            }
+            let batch = std::mem::take(&mut *queue);
+            drop(queue);
+            for c in batch {
+                self.absorb_completion(c, &mut progress, &mut unresolved, deadline);
+            }
+        }
+        let mut lists = Vec::new();
+        let mut omitted = Vec::new();
+        for (si, sp) in progress.into_iter().enumerate() {
+            match sp.done {
+                Some(hits) => lists.push(hits),
+                None => {
+                    debug_assert!(sp.omitted);
+                    omitted.push(si as u32);
+                }
+            }
+        }
+        (lists, omitted)
+    }
+
+    /// Folds one attempt report into the coordinator state: updates the
+    /// replica's breaker/EWMA/counters, resolves the shard on first
+    /// success (late duplicates are checked for bit-parity and dropped),
+    /// and schedules a retry — or omits the shard — when its last
+    /// in-flight attempt failed.
+    fn absorb_completion(
+        &self,
+        c: Completion,
+        progress: &mut [ShardProgress],
+        unresolved: &mut usize,
+        deadline: Option<Instant>,
+    ) {
+        let si = c.shard as usize;
+        let sp = &mut progress[si];
+        let shard = &self.shards[si];
+        let slot = &shard.replicas[c.replica as usize];
+        sp.in_flight -= 1;
+        match c.outcome {
+            Ok(hits) => {
+                slot.breaker.record_success();
+                slot.observe_latency(c.nanos);
+                slot.retrievals.fetch_add(1, Ordering::Relaxed);
+                if let Some(first) = &sp.done {
+                    // A hedge's loser finished anyway: both replicas hold
+                    // the same corpus slice and scored with the same
+                    // global idf, so their lists must agree bit for bit.
+                    debug_assert_eq!(
+                        first, &hits,
+                        "replicas of one shard returned diverging rankings"
+                    );
+                } else if !sp.omitted {
+                    sp.done = Some(hits);
+                    shard.retrievals.fetch_add(1, Ordering::Relaxed);
+                    *unresolved -= 1;
+                    for sig in sp.cancels.drain(..) {
+                        sig.cancel();
+                    }
+                }
+            }
+            Err(skipped) => {
+                if !skipped {
+                    slot.breaker.record_failure(Instant::now());
+                    slot.failures.fetch_add(1, Ordering::Relaxed);
+                }
+                if sp.done.is_none() && !sp.omitted && sp.in_flight == 0 && sp.retry_at.is_none() {
+                    if sp.retries >= self.replication.retry_max {
+                        Self::omit(shard, sp, unresolved);
+                    } else {
+                        let now = Instant::now();
+                        match sp.backoff.next_before(now, deadline) {
+                            Some(delay) => sp.retry_at = Some(now + delay),
+                            // The backoff wait alone would outlive the
+                            // request's deadline: give the shard up now
+                            // instead of sleeping into a guaranteed miss.
+                            None => Self::omit(shard, sp, unresolved),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn omit(shard: &ShardReplicas, sp: &mut ShardProgress, unresolved: &mut usize) {
+        sp.omitted = true;
+        shard.omissions.fetch_add(1, Ordering::Relaxed);
+        *unresolved -= 1;
+        for sig in sp.cancels.drain(..) {
+            sig.cancel();
+        }
+    }
+
+    /// The pool-less scatter: shards served one after another on the
+    /// calling thread with the same rotation / breaker / retry policy,
+    /// but no hedging (there is no second thread to hedge onto) and
+    /// backoff waits slept inline.
+    fn scatter_sequential(
+        &self,
+        terms: &[TermId],
+        idfs: &[f64],
+        semantics: QuerySemantics,
+        top_k: usize,
+        deadline: Option<Instant>,
+    ) -> (Vec<Vec<Hit>>, Vec<u32>) {
+        let replication = &self.replication;
+        let mut lists = Vec::new();
+        let mut omitted = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let n = shard.replicas.len();
+            let start = shard.rotation.fetch_add(1, Ordering::Relaxed) % n;
+            let mut backoff = Backoff::new(
+                replication.retry_base,
+                replication.retry_base.saturating_mul(BACKOFF_CAP_FACTOR),
+                0x9E37_79B9_7F4A_7C15u64.wrapping_mul(si as u64 + 1),
+            );
+            let mut resolved = false;
+            for attempt in 0..=replication.retry_max {
+                let now = Instant::now();
+                let Some(ri) = (0..n)
+                    .map(|off| (start + attempt + off) % n)
+                    .find(|&ri| shard.replicas[ri].breaker.try_admit(now))
+                else {
+                    break;
+                };
+                let slot = &shard.replicas[ri];
+                let t0 = Instant::now();
+                match replica_attempt(
+                    &slot.engine,
+                    self.bases[si],
+                    si,
+                    ri,
+                    terms,
+                    idfs,
+                    semantics,
+                    top_k,
+                ) {
+                    Ok(hits) => {
+                        slot.breaker.record_success();
+                        slot.observe_latency(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        slot.retrievals.fetch_add(1, Ordering::Relaxed);
+                        shard.retrievals.fetch_add(1, Ordering::Relaxed);
+                        lists.push(hits);
+                        resolved = true;
+                        break;
+                    }
+                    Err(()) => {
+                        slot.breaker.record_failure(Instant::now());
+                        slot.failures.fetch_add(1, Ordering::Relaxed);
+                        if attempt == replication.retry_max {
+                            break;
+                        }
+                        match backoff.next_before(Instant::now(), deadline) {
+                            Some(delay) => std::thread::sleep(delay),
+                            None => break,
+                        }
+                    }
+                }
+            }
+            if !resolved {
+                shard.omissions.fetch_add(1, Ordering::Relaxed);
+                omitted.push(si as u32);
+            }
+        }
+        (lists, omitted)
     }
 }
 
@@ -713,7 +1342,17 @@ impl QecEngine {
                         self.build_scratches.release(search);
                         let built = Arc::new(pipeline);
                         let stats = match cb.ticket.take() {
-                            Some(ticket) => ticket.publish(key, Arc::clone(&built)),
+                            // A partial pipeline (omitted shards) is never
+                            // published: dropping its ticket abandons the
+                            // build without a failure memo, so the key
+                            // heals as soon as the shard does.
+                            Some(ticket) if built.omitted_shards.is_empty() => {
+                                ticket.publish(key, Arc::clone(&built))
+                            }
+                            Some(ticket) => {
+                                drop(ticket);
+                                self.cache.stats()
+                            }
                             None => CacheStats::default(),
                         };
                         cb.built = Some(Ok((built, stats)));
@@ -921,6 +1560,7 @@ impl QecEngine {
                 fill_slot(resp.slot(c), &p.clusters[c], p, &b.outs[base + c], req);
             }
             resp.retain_live(completed);
+            resp.set_omitted(&p.omitted_shards);
             resp.stats = ExpandStats {
                 results: p.arena.size(),
                 candidates: p.arena.num_candidates(),
@@ -932,6 +1572,7 @@ impl QecEngine {
                 arena_cache_hit: g.hit || i != g.rep,
                 strategy: self.expander_for(req.strategy).name(),
                 degraded: completed < k,
+                shards_omitted: p.omitted_shards.len(),
                 cache: g.stats,
             };
             out.push(Ok(resp));
@@ -999,8 +1640,18 @@ impl QecEngine {
                             return Err(e);
                         }
                     };
-                    let stats = ticket.publish(key, Arc::clone(&built));
-                    (built, false, stats)
+                    if built.omitted_shards.is_empty() {
+                        let stats = ticket.publish(key, Arc::clone(&built));
+                        (built, false, stats)
+                    } else {
+                        // An explicitly partial pipeline serves only the
+                        // request that built it: dropping the ticket is a
+                        // voluntary abandonment (no failure memo), so the
+                        // next request rebuilds — and heals — the moment
+                        // the shard recovers.
+                        drop(ticket);
+                        (built, false, self.cache.stats())
+                    }
                 }
                 (CacheProbe::TimedOut, _) => return Err(EngineError::DeadlineExceeded),
                 (CacheProbe::Failed, _) => return Err(EngineError::BuildFailed),
@@ -1099,6 +1750,7 @@ impl QecEngine {
             completed
         };
         resp.retain_live(completed);
+        resp.set_omitted(&pipeline.omitted_shards);
         resp.stats = ExpandStats {
             results: arena.size(),
             candidates: arena.num_candidates(),
@@ -1106,6 +1758,7 @@ impl QecEngine {
             arena_cache_hit: hit,
             strategy: expander.name(),
             degraded: completed < k,
+            shards_omitted: pipeline.omitted_shards.len(),
             cache: cache_stats,
         };
         Ok(())
@@ -1127,7 +1780,7 @@ impl QecEngine {
             if qec_failpoint::check("engine.build_pipeline").is_err() {
                 return Err(EngineError::BuildFailed);
             }
-            Ok(self.build_pipeline(req, terms, search))
+            self.build_pipeline(req, terms, search)
         }));
         match result {
             Ok(built) => built,
@@ -1145,16 +1798,26 @@ impl QecEngine {
     /// scatter across the shards (see [`scatter_retrieve`]
     /// (Self::scatter_retrieve)); the downstream pipeline — vectors,
     /// clustering, arena — runs unchanged on the gather engine's full
-    /// corpus, which speaks global [`DocId`]s.
+    /// corpus, which speaks global [`DocId`]s. A scatter that had to give
+    /// up on some shards builds an explicitly partial pipeline (its
+    /// `omitted_shards` name them); one that lost **every** shard returns
+    /// [`EngineError::BuildFailed`] — nothing was retrieved, and an empty
+    /// "partial" would be indistinguishable from a no-match query.
     fn build_pipeline(
         &self,
         req: &ExpandRequest<'_>,
         terms: &[TermId],
         search: &mut SearchScratch,
-    ) -> CachedPipeline {
+    ) -> Result<CachedPipeline, EngineError> {
         let corpus = &self.corpus;
-        let hits: Vec<Hit> = match &self.shards {
-            Some(shard_set) => self.scatter_retrieve(shard_set, req, terms),
+        let (hits, omitted_shards): (Vec<Hit>, Vec<u32>) = match &self.shards {
+            Some(shard_set) => {
+                let (hits, omitted) = self.scatter_retrieve(shard_set, req, terms);
+                if omitted.len() == shard_set.shards.len() {
+                    return Err(EngineError::BuildFailed);
+                }
+                (hits, omitted)
+            }
             None => {
                 let searcher = Searcher::new(corpus);
                 match req.semantics {
@@ -1165,7 +1828,7 @@ impl QecEngine {
                 if req.top_k > 0 {
                     hits.truncate(req.top_k);
                 }
-                hits
+                (hits, Vec::new())
             }
         };
         let result_docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
@@ -1196,71 +1859,53 @@ impl QecEngine {
             })
             .collect();
 
-        CachedPipeline {
+        Ok(CachedPipeline {
             arena,
             docs: result_docs,
             clusters,
-        }
+            omitted_shards,
+        })
     }
 
-    /// Sharded retrieval + ranking: scatters one retrieve/rank task per
-    /// shard across the shared pool and k-way merges the per-shard top-K
-    /// lists into one globally ranked prefix.
+    /// Sharded retrieval + ranking with failover: scatters one
+    /// retrieve/rank attempt per shard (each against a rotation-picked
+    /// replica), retries / hedges / omits per the engine's
+    /// [`ReplicationConfig`], and k-way merges the delivered per-shard
+    /// top-K lists into one globally ranked prefix. The second return
+    /// value names the shards that had to be given up (ascending).
     ///
-    /// Bit-parity with the single-engine path holds because (a) every
-    /// shard scores with the **gather** corpus's idf (global document
-    /// frequencies, computed here once per query term), accumulating
-    /// tf·idf contributions in the same terms-slice order as
-    /// [`TfIdfRanker::rank`]; (b) the comparator (score desc, `DocId`
-    /// asc) is a total order, so per-shard exact top-K plus a k-way merge
-    /// reproduces the global sort's prefix exactly; and (c) shard-local
-    /// doc ids translate to global ones by adding the shard's base
-    /// offset, which preserves each shard's ascending order.
+    /// Bit-parity with the single-engine path holds over the delivered
+    /// shards because (a) every replica scores with the **gather**
+    /// corpus's idf (global document frequencies, computed here once per
+    /// query term), accumulating tf·idf contributions in the same
+    /// terms-slice order as [`TfIdfRanker::rank`]; (b) the comparator
+    /// (score desc, `DocId` asc) is a total order, so per-shard exact
+    /// top-K plus a k-way merge reproduces the global sort's prefix
+    /// exactly; and (c) shard-local doc ids translate to global ones by
+    /// adding the shard's base offset, which preserves each shard's
+    /// ascending order. Replicas of one shard hold identical corpus
+    /// slices, so *which* replica answers cannot change the bits.
     fn scatter_retrieve(
         &self,
         shard_set: &ShardSet,
         req: &ExpandRequest<'_>,
         terms: &[TermId],
-    ) -> Vec<Hit> {
+    ) -> (Vec<Hit>, Vec<u32>) {
         let index = self.corpus.index();
         let idfs: Vec<f64> = terms.iter().map(|&t| index.idf(t)).collect();
-        let n = shard_set.shards.len();
-        let mut bufs: Vec<Vec<Hit>> = (0..n).map(|_| shard_set.hit_bufs.acquire()).collect();
-        scatter_slots(self.pool.as_deref(), &mut bufs, |i, hits| {
-            #[cfg(feature = "failpoints")]
-            if qec_failpoint::check("shard.retrieve").is_err() {
-                panic!("injected shard retrieval fault");
+        let deadline = req.effective_deadline(Instant::now());
+        let (lists, omitted) = match self.pool.as_deref() {
+            Some(pool) => {
+                shard_set.scatter_pooled(pool, terms, &idfs, req.semantics, req.top_k, deadline)
             }
-            shard_set.retrievals[i].fetch_add(1, Ordering::Relaxed);
-            let shard = &shard_set.shards[i];
-            let mut search = shard.build_scratches.acquire();
-            let searcher = Searcher::new(&shard.corpus);
-            match req.semantics {
-                QuerySemantics::And => searcher.and_query_into(terms, &mut search),
-                QuerySemantics::Or => searcher.or_query_into(terms, &mut search),
-            }
-            TfIdfRanker::new(&shard.corpus).rank_with_idf_into(
-                search.results(),
-                terms,
-                &idfs,
-                req.top_k,
-                hits,
-            );
-            shard.build_scratches.release(search);
-            let base = shard_set.bases[i];
-            for hit in hits.iter_mut() {
-                hit.doc = DocId(hit.doc.0 + base);
-            }
-        });
+            None => shard_set.scatter_sequential(terms, &idfs, req.semantics, req.top_k, deadline),
+        };
         let mut merged = Vec::new();
         {
-            let lists: Vec<&[Hit]> = bufs.iter().map(|b| b.as_slice()).collect();
-            MergeScratch::new().merge_into(&lists, hit_before, req.top_k, &mut merged);
+            let slices: Vec<&[Hit]> = lists.iter().map(|l| l.as_slice()).collect();
+            MergeScratch::new().merge_into(&slices, hit_before, req.top_k, &mut merged);
         }
-        for buf in bufs {
-            shard_set.hit_bufs.release(buf);
-        }
-        merged
+        (merged, omitted)
     }
 }
 

@@ -67,7 +67,10 @@
 //! bit-identically**: cold retrieval scatters per-shard ranking (global
 //! idf, exact top-K) across one shared pool and k-way merges the global
 //! ranking; everything else — cache, batching, deadlines, degradation —
-//! is the single engine's machinery. See the [`shard`] module docs.
+//! is the single engine's machinery. With
+//! [`replicas(n)`](ShardedEngineBuilder::replicas) each shard gets `n`
+//! interchangeable engines and the scatter path adds retry, hedging, and
+//! per-replica circuit breakers. See the [`shard`] module docs.
 //!
 //! # Failure semantics
 //!
@@ -88,6 +91,17 @@
 //! bit-identical to a clean run (see `tests/chaos.rs`, which drives these
 //! paths through the `qec-failpoint` crate).
 //!
+//! On the replicated scatter path a shard failure escalates through
+//! retry (sibling replica, deadline-aware backoff), hedging, and
+//! per-replica circuit breakers; only when a shard's **every** replica is
+//! unavailable does the response go explicitly **partial** — `Ok` with
+//! [`ExpandStats::shards_omitted`] counting the missing shards,
+//! [`ExpandResponse::omitted_shards`] naming them, and the merged ranking
+//! over the surviving shards intact. Partial pipelines are served but
+//! never cached, so one healthy rebuild heals the key. When *all* shards
+//! are out the request fails (`BuildFailed`) — an empty "ranking" is an
+//! error, not a result (see `tests/replication_chaos.rs`).
+//!
 //! [`expand`]: QecEngine::expand
 //! [`expand_batch`]: QecEngine::expand_batch
 //! [`try_expand`]: QecEngine::try_expand
@@ -106,13 +120,15 @@ pub use api::{
     ClusterExpansion, EngineError, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy,
 };
 pub use cache::{BuildTicket, CacheProbe, CacheStats, SharedArenaCache};
-pub use config::{AdmissionConfig, CacheConfig, EngineConfig, PoolConfig};
+pub use config::{AdmissionConfig, CacheConfig, EngineConfig, PoolConfig, ReplicationConfig};
 pub use engine::{EngineBuilder, QecEngine};
-pub use shard::{ShardStats, ShardedEngine, ShardedEngineBuilder, ShardedStats};
+pub use shard::{
+    ReplicaStats, ShardStats, ShardedBuildError, ShardedEngine, ShardedEngineBuilder, ShardedStats,
+};
 
 // Re-export the vocabulary types a facade caller needs, so simple servers
 // depend on `qec-engine` alone.
 pub use qec_cluster::{Clusterer, KMeansClusterer};
-pub use qec_core::{CancelSignal, CancelToken, Expander, QueryQuality};
+pub use qec_core::{BreakerState, CancelSignal, CancelToken, Expander, QueryQuality};
 pub use qec_index::{Corpus, DocId, DocumentSpec, QuerySemantics};
 pub use qec_text::TermId;

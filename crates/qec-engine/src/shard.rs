@@ -33,11 +33,30 @@
 //! global document frequencies and the ranking comparator is a total
 //! order; `tests/sharding_parity.rs` asserts bit-identity across shard
 //! counts, strategies, and pagination.
+//!
+//! Replication and failover
+//! ------------------------
+//! [`replicas(n)`](ShardedEngineBuilder::replicas) gives each shard `n`
+//! interchangeable replica engines over the same corpus slice (cheap: the
+//! analyzer is `Arc`-shared). Scatter rotates across healthy replicas,
+//! and failures meet three escalating defenses — **retry** on a sibling
+//! replica with deadline-aware capped exponential backoff, a **hedged**
+//! duplicate dispatched when a task outlives its replica's expected
+//! latency (first completion wins, bit-identical either way), and
+//! per-replica **circuit breakers** that take persistently sick replicas
+//! out of selection until a half-open probe heals them. A shard whose
+//! every replica is unavailable is **omitted explicitly**: the response
+//! stays `Ok` with [`ExpandStats::shards_omitted`](crate::ExpandStats::shards_omitted)
+//! set and the merged ranking over the surviving shards intact — never a
+//! silently wrong ranking. `tests/replication_chaos.rs` drives all four
+//! behaviours through injected faults.
 
+use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use qec_cluster::Clusterer;
-use qec_core::{default_parallelism, WorkerPool};
+use qec_core::{default_parallelism, BreakerState, WorkerPool};
 use qec_index::{Corpus, CorpusBuilder, DocumentSpec};
 
 use crate::api::{EngineError, ExpandRequest, ExpandResponse};
@@ -50,10 +69,11 @@ use crate::engine::{EngineBuilder, QecEngine, ShardSet};
 /// [`ShardedEngineBuilder`]; see the [module docs](self) for the
 /// architecture.
 pub struct ShardedEngine {
-    /// The gather engine; holds the [`ShardSet`] when `num_shards > 1`.
+    /// The gather engine; holds the [`ShardSet`] when `num_shards > 1`
+    /// or replication is on.
     inner: QecEngine,
-    /// Shard count the builder resolved (`1` means the plain single-engine
-    /// path — no shard set is attached).
+    /// Shard count the builder validated (`1` with a single replica means
+    /// the plain single-engine path — no shard set is attached).
     num_shards: usize,
 }
 
@@ -94,27 +114,51 @@ impl ShardedEngine {
     }
 
     /// Rolled-up serving statistics: the gather cache snapshot plus one
-    /// [`ShardStats`] per shard.
+    /// [`ShardStats`] per shard (each carrying one [`ReplicaStats`] per
+    /// replica).
     pub fn stats(&self) -> ShardedStats {
+        use std::sync::atomic::Ordering::Relaxed;
         let shards = match self.inner.shard_set() {
             Some(set) => set
                 .shards
                 .iter()
-                .zip(&set.retrievals)
-                .map(|(shard, retrievals)| ShardStats {
-                    docs: shard.corpus().num_docs(),
-                    scattered_retrievals: retrievals.load(std::sync::atomic::Ordering::Relaxed),
+                .map(|shard| ShardStats {
+                    docs: shard.replicas[0].engine.corpus().num_docs(),
+                    scattered_retrievals: shard.retrievals.load(Relaxed),
+                    hedges: shard.hedges.load(Relaxed),
+                    omissions: shard.omissions.load(Relaxed),
+                    replicas: shard
+                        .replicas
+                        .iter()
+                        .map(|slot| ReplicaStats {
+                            retrievals: slot.retrievals.load(Relaxed),
+                            failures: slot.failures.load(Relaxed),
+                            breaker: slot.breaker.state(),
+                            mean_latency: slot.mean_latency(),
+                        })
+                        .collect(),
                 })
                 .collect(),
             None => vec![ShardStats {
                 docs: self.inner.corpus().num_docs(),
                 scattered_retrievals: 0,
+                hedges: 0,
+                omissions: 0,
+                replicas: Vec::new(),
             }],
         };
         ShardedStats {
             gather_cache: self.inner.cache_stats(),
             shards,
         }
+    }
+
+    /// Consumes the wrapper and returns the gather [`QecEngine`] — the
+    /// exact engine `expand` dispatches to, shard set attached. Useful for
+    /// mounting a sharded engine behind layers that take a `QecEngine`
+    /// (e.g. an ingress front door).
+    pub fn into_engine(self) -> QecEngine {
+        self.inner
     }
 
     /// See [`QecEngine::expand`]. Bit-identical to the single-engine
@@ -168,13 +212,38 @@ impl ShardedEngine {
 }
 
 /// One shard's share of [`ShardedStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardStats {
     /// Documents resident on this shard.
     pub docs: usize,
-    /// Scattered retrieval tasks this shard has executed (one per cold
-    /// pipeline build of the gather engine).
+    /// Scattered retrievals this shard has **resolved** (one per cold
+    /// pipeline build of the gather engine, counted on the first replica
+    /// success — retries and hedges never double-count).
     pub scattered_retrievals: u64,
+    /// Hedged duplicates this shard has dispatched (a second replica
+    /// racing a slow first attempt).
+    pub hedges: u64,
+    /// Scatters that omitted this shard because every defense was
+    /// exhausted — each one produced an explicitly partial response.
+    pub omissions: u64,
+    /// Per-replica health, in rotation order.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+/// One replica's health within a [`ShardStats`] entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Successful retrieval attempts served by this replica (including
+    /// late hedge losers that completed after the shard resolved).
+    pub retrievals: u64,
+    /// Failed attempts (panics and injected errors; cancelled hedges are
+    /// neither success nor failure).
+    pub failures: u64,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker: BreakerState,
+    /// EWMA of this replica's attempt latency (`ZERO` before the first
+    /// sample); the adaptive hedge delay derives from it.
+    pub mean_latency: Duration,
 }
 
 /// Rolled-up statistics of a [`ShardedEngine`]: the gather engine's cache
@@ -188,13 +257,51 @@ pub struct ShardedStats {
     pub shards: Vec<ShardStats>,
 }
 
+/// Why [`ShardedEngineBuilder::try_build`] refused the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardedBuildError {
+    /// `num_shards(0)` — zero partitions cannot hold a corpus. (Use `1`
+    /// for the explicit single-engine path.)
+    ZeroShards,
+    /// More shards than documents: at least one shard would be empty and
+    /// contribute nothing but scatter overhead, which is never what the
+    /// caller meant. Shrink the shard count or grow the corpus.
+    TooManyShards {
+        /// The requested shard count.
+        shards: usize,
+        /// Documents actually in the corpus.
+        docs: usize,
+    },
+}
+
+impl fmt::Display for ShardedBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroShards => {
+                write!(f, "num_shards(0): zero partitions cannot hold a corpus")
+            }
+            Self::TooManyShards { shards, docs } => write!(
+                f,
+                "num_shards({shards}) exceeds the corpus ({docs} docs): at least one shard would be empty"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardedBuildError {}
+
 /// Builds a [`ShardedEngine`] from documents or a prebuilt [`Corpus`],
 /// mirroring [`EngineBuilder`]'s knobs plus
-/// [`num_shards`](Self::num_shards).
+/// [`num_shards`](Self::num_shards) and the replication knobs.
 ///
 /// | knob | default | effect |
 /// |------|---------|--------|
 /// | [`num_shards`](Self::num_shards) | `1` | contiguous doc-id partitions; `1` serves the plain single-engine path |
+/// | [`replicas`](Self::replicas) | `1` | interchangeable engines per shard; `>1` enables failover |
+/// | [`retry_max`](Self::retry_max) | `2` | failed-attempt retries (sibling replica, capped backoff) before a shard is omitted |
+/// | [`hedge_after`](Self::hedge_after) | `None` (adaptive) | delay before a hedged duplicate races a slow attempt |
+/// | [`breaker_threshold`](Self::breaker_threshold) | `3` | consecutive failures that open a replica's circuit breaker (`0` = never) |
+/// | [`breaker_cooldown`](Self::breaker_cooldown) | `250ms` | open-breaker wait before one half-open probe |
 /// | [`config`](Self::config) | [`EngineConfig::default`] | the gather engine's full configuration |
 /// | [`cache_capacity`](Self::cache_capacity) / [`cache_enabled`](Self::cache_enabled) | `EngineConfig` defaults | the **gather** cache — shard engines never cache (their caches are disabled at build) |
 /// | [`max_in_flight`](Self::max_in_flight) | `0` (off) | admission control, enforced once at the gather front door |
@@ -244,10 +351,53 @@ impl ShardedEngineBuilder {
 
     /// Sets the shard count. Documents are partitioned contiguously and
     /// near-evenly (first `total % n` shards hold one extra document);
-    /// `0` and `1` both mean "no sharding" and serve the plain
-    /// single-engine path.
+    /// `1` means "no sharding" and serves the plain single-engine path.
+    /// `0` or a count exceeding the corpus is a build-time
+    /// [`ShardedBuildError`] — the builder validates, it never silently
+    /// clamps.
     pub fn num_shards(mut self, n: usize) -> Self {
-        self.num_shards = n.max(1);
+        self.num_shards = n;
+        self
+    }
+
+    /// Sets the replica count per shard (`0` is treated as `1`). See the
+    /// [module docs](self#replication-and-failover) and
+    /// [`ReplicationConfig`](crate::config::ReplicationConfig).
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.config.replication.replicas = n.max(1);
+        self
+    }
+
+    /// Sets how many times a failed shard attempt is retried on a sibling
+    /// replica before the shard is omitted (see
+    /// [`ReplicationConfig::retry_max`](crate::config::ReplicationConfig::retry_max)).
+    pub fn retry_max(mut self, n: usize) -> Self {
+        self.config.replication.retry_max = n;
+        self
+    }
+
+    /// Sets the hedge delay: `Some(d)` hedges a shard task that has run
+    /// for `d` without completing; `None` (the default) adapts to ~3× the
+    /// replica's observed mean latency (see
+    /// [`ReplicationConfig::hedge_after`](crate::config::ReplicationConfig::hedge_after)).
+    pub fn hedge_after(mut self, delay: Option<Duration>) -> Self {
+        self.config.replication.hedge_after = delay;
+        self
+    }
+
+    /// Sets the consecutive-failure count that opens a replica's circuit
+    /// breaker; `0` disables breakers (see
+    /// [`ReplicationConfig::breaker_threshold`](crate::config::ReplicationConfig::breaker_threshold)).
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.config.replication.breaker_threshold = threshold;
+        self
+    }
+
+    /// Sets how long an open breaker refuses attempts before admitting a
+    /// half-open probe (see
+    /// [`ReplicationConfig::breaker_cooldown`](crate::config::ReplicationConfig::breaker_cooldown)).
+    pub fn breaker_cooldown(mut self, cooldown: Duration) -> Self {
+        self.config.replication.breaker_cooldown = cooldown;
         self
     }
 
@@ -332,21 +482,48 @@ impl ShardedEngineBuilder {
         self
     }
 
-    /// Freezes the corpus, partitions it, and assembles the engine: one
-    /// shared [`WorkerPool`] (when pooling is enabled), one retrieval
-    /// engine per shard (cache, admission, and private pools disabled),
-    /// and the gather engine over the full corpus.
+    /// [`try_build`](Self::try_build), panicking on an invalid topology.
+    ///
+    /// # Panics
+    /// On a [`ShardedBuildError`] (zero shards, or more shards than
+    /// documents).
     pub fn build(self) -> ShardedEngine {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("ShardedEngineBuilder::build: {e}"))
+    }
+
+    /// Freezes the corpus, validates the topology, partitions it, and
+    /// assembles the engine: one shared [`WorkerPool`] (when pooling is
+    /// enabled), [`replicas`](Self::replicas) retrieval engines per shard
+    /// (cache, admission, and private pools disabled), and the gather
+    /// engine over the full corpus.
+    ///
+    /// # Errors
+    /// [`ShardedBuildError::ZeroShards`] for `num_shards(0)`;
+    /// [`ShardedBuildError::TooManyShards`] when the corpus holds fewer
+    /// documents than shards were requested (an empty corpus still admits
+    /// the `num_shards(1)` single-engine path).
+    pub fn try_build(self) -> Result<ShardedEngine, ShardedBuildError> {
         let corpus = match self.source {
             Source::Building(b) => b.build(),
             Source::Prebuilt(c) => c,
         };
-        let num_shards = self.num_shards.min(corpus.num_docs().max(1));
+        let num_shards = self.num_shards;
+        if num_shards == 0 {
+            return Err(ShardedBuildError::ZeroShards);
+        }
+        if num_shards > corpus.num_docs().max(1) {
+            return Err(ShardedBuildError::TooManyShards {
+                shards: num_shards,
+                docs: corpus.num_docs(),
+            });
+        }
+        let replicas = self.config.replication.replicas.max(1);
         let mut gather = EngineBuilder::from_corpus(corpus.clone()).config(self.config.clone());
         if let Some(clusterer) = self.clusterer {
             gather = gather.clusterer(clusterer);
         }
-        if num_shards > 1 {
+        if num_shards > 1 || replicas > 1 {
             // One pool for everything: the gather engine's fan-outs and
             // every scattered retrieval task run on the same workers.
             if self.config.pool.enabled {
@@ -364,21 +541,28 @@ impl ShardedEngineBuilder {
             shard_config.cache.enabled = false;
             shard_config.admission.max_in_flight = 0;
             shard_config.pool.enabled = false;
-            let shards: Vec<QecEngine> = corpus
+            let groups: Vec<Vec<QecEngine>> = corpus
                 .split(num_shards)
                 .into_iter()
                 .map(|sub| {
-                    EngineBuilder::from_corpus(sub)
-                        .config(shard_config.clone())
-                        .build()
+                    // Replicas of one shard share the sub-corpus clone
+                    // (the analyzer inside is Arc-shared, so each extra
+                    // replica costs one index build, not one corpus).
+                    (0..replicas)
+                        .map(|_| {
+                            EngineBuilder::from_corpus(sub.clone())
+                                .config(shard_config.clone())
+                                .build()
+                        })
+                        .collect()
                 })
                 .collect();
-            gather = gather.shards(ShardSet::new(shards));
+            gather = gather.shards(ShardSet::new(groups, self.config.replication.clone()));
         }
-        ShardedEngine {
+        Ok(ShardedEngine {
             inner: gather.build(),
             num_shards,
-        }
+        })
     }
 
     /// [`build`](Self::build), shared behind an [`Arc`] for long-lived

@@ -1,11 +1,14 @@
 //! Chaos suite for the sharded serving path, driven through
 //! `qec-failpoint`'s `shard.retrieve` site (checked inside every
-//! scattered retrieval task): a panicking shard task fails **exactly the
-//! requests sharing that pipeline build** (batch siblings are served
-//! bit-identical to a clean run), a deadline that trips mid-scatter
-//! degrades the merged response to an intact prefix (never a torn
-//! ranking), and the engine — shared pool included — stays fully
-//! serviceable after every injected fault.
+//! scattered retrieval task): a single panicking shard attempt **heals
+//! via retry** (the response is bit-identical to a clean run), a
+//! blacked-out scatter — every attempt of every shard failing — fails
+//! **exactly the requests sharing that pipeline build** (batch siblings
+//! are served bit-identical to a clean run), a deadline that trips
+//! mid-scatter degrades the merged response to an intact prefix (never a
+//! torn ranking), and the engine — shared pool included — stays fully
+//! serviceable after every injected fault. Replica-targeted faults
+//! (failover, hedging, breakers) live in `tests/replication_chaos.rs`.
 //!
 //! Failpoints are process-global, so every test takes the `serial()` lock
 //! (CI additionally runs this binary with `RUST_TEST_THREADS=1`).
@@ -17,7 +20,7 @@ use qec_engine::{
     ClusterExpansion, DocumentSpec, EngineError, ExpandRequest, ExpandResponse, ShardedEngine,
     ShardedEngineBuilder,
 };
-use qec_failpoint::{arm_times, FailAction};
+use qec_failpoint::{arm, arm_times, FailAction};
 
 fn serial() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -97,7 +100,36 @@ fn essence(
 }
 
 #[test]
-fn panicked_shard_task_fails_exactly_that_request() {
+fn single_panicked_attempt_heals_via_retry() {
+    let _s = serial();
+    let clean_engine = engine();
+    let engine = engine();
+    let req = &workload()[0];
+    let clean = clean_engine.expand(req);
+
+    // One shard attempt panics. The scatter retries the shard (same
+    // replica — there is only one) after a sub-millisecond backoff and
+    // the cold build completes as if nothing happened.
+    let healed = {
+        let _g = arm_times("shard.retrieve", FailAction::Panic, 1);
+        engine
+            .try_expand(req)
+            .expect("a single shard fault is retried, not surfaced")
+    };
+    assert_eq!(essence(&healed), essence(&clean));
+    assert_eq!(healed.stats.shards_omitted, 0);
+    assert!(healed.omitted_shards().is_empty());
+    let failures: u64 = engine
+        .stats()
+        .shards
+        .iter()
+        .flat_map(|s| s.replicas.iter().map(|r| r.failures))
+        .sum();
+    assert_eq!(failures, 1, "exactly the injected fault was recorded");
+}
+
+#[test]
+fn blacked_out_scatter_fails_exactly_that_request() {
     let _s = serial();
     let engine = engine();
     let reqs = workload();
@@ -111,10 +143,11 @@ fn panicked_shard_task_fails_exactly_that_request() {
         }
     }
     let results = {
-        // One shard task panics; its two sibling shard tasks of the same
-        // scatter are unaffected, but the merged build cannot complete,
-        // so the requests behind that one pipeline fail — and only those.
-        let _g = arm_times("shard.retrieve", FailAction::Panic, 1);
+        // Every attempt of every shard fails — retries included. With a
+        // single replica per shard nothing can fail over, every shard is
+        // omitted, and a fully-empty scatter is an error: the requests
+        // behind that one pipeline fail — and only those.
+        let _g = arm("shard.retrieve", FailAction::Error);
         engine.try_expand_batch(&reqs)
     };
     assert_eq!(results.len(), reqs.len());

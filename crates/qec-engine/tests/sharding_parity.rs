@@ -236,3 +236,84 @@ fn sharding_respects_strategy_keyed_caching() {
     assert!(sharded.expand(&pebc).stats.arena_cache_hit);
     assert_eq!(sharded.cache_stats().entries, 2);
 }
+
+#[test]
+fn builder_rejects_invalid_topologies_with_typed_errors() {
+    use qec_engine::ShardedBuildError;
+
+    // Zero partitions cannot hold a corpus.
+    let err = ShardedEngineBuilder::new()
+        .documents(corpus_docs())
+        .num_shards(0)
+        .try_build()
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err, ShardedBuildError::ZeroShards);
+
+    // A corpus smaller than the shard count would leave empty shards:
+    // refused with the requested/actual numbers, never silently clamped.
+    let err = ShardedEngineBuilder::new()
+        .documents(corpus_docs().take(5))
+        .num_shards(8)
+        .try_build()
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err, ShardedBuildError::TooManyShards { shards: 8, docs: 5 });
+    let msg = err.to_string();
+    assert!(
+        msg.contains('8') && msg.contains('5'),
+        "actionable message: {msg}"
+    );
+
+    // The boundary cases stay valid: one doc per shard, and the explicit
+    // single-engine path over an empty corpus.
+    assert_eq!(
+        ShardedEngineBuilder::new()
+            .documents(corpus_docs().take(5))
+            .num_shards(5)
+            .try_build()
+            .expect("one doc per shard is a valid topology")
+            .num_shards(),
+        5
+    );
+    assert!(ShardedEngineBuilder::new()
+        .num_shards(1)
+        .try_build()
+        .is_ok());
+}
+
+#[test]
+fn replicated_shards_serve_bit_identical_responses() {
+    // Replication is invisible to results: 3 shards × 2 replicas answers
+    // bit-identically to the unreplicated baseline, whichever replica the
+    // rotation picks.
+    let baseline = baseline();
+    let replicated = ShardedEngineBuilder::new()
+        .documents(corpus_docs())
+        .num_shards(3)
+        .replicas(2)
+        .build();
+    for req in [
+        ExpandRequest {
+            k_clusters: 4,
+            top_k: 50,
+            ..ExpandRequest::new("apple")
+        },
+        ExpandRequest {
+            k_clusters: 3,
+            top_k: 30,
+            semantics: QuerySemantics::Or,
+            ..ExpandRequest::new("farm cider")
+        },
+    ] {
+        assert_eq!(
+            essence(&replicated.expand(&req)),
+            essence(&baseline.expand(&req))
+        );
+    }
+    let stats = replicated.stats();
+    assert_eq!(stats.shards.len(), 3);
+    assert!(stats.shards.iter().all(|s| s.replicas.len() == 2));
+    assert!(stats.shards.iter().all(|s| s.scattered_retrievals > 0));
+    assert!(stats.shards.iter().all(|s| s.omissions == 0));
+}

@@ -233,4 +233,60 @@ fn warmed_engine_expand_performs_zero_heap_allocations() {
             "every shard served the one cold build's scatter"
         );
     }
+
+    // Replication doesn't change the story: warmed serving over 3 shards
+    // × 2 replicas is the same cache-hit hot path — the replica rotation,
+    // breakers, and hedge timers all live on the cold scatter, which a
+    // warm loop never touches.
+    let replicated = qec_engine::ShardedEngineBuilder::new()
+        .documents((0..60).map(|i| {
+            let body = if i % 2 == 0 {
+                format!("apple tech gadget{} chip{} market", i % 7, i % 5)
+            } else {
+                format!("apple farm orchard{} harvest{} cider", i % 7, i % 5)
+            };
+            DocumentSpec::text("", body)
+        }))
+        .num_shards(3)
+        .replicas(2)
+        .build();
+    let warm = replicated.expand(&req);
+    assert_eq!(
+        warm.clusters(),
+        &expected[..],
+        "replicated serving is bit-identical to the single engine"
+    );
+    replicated.recycle(warm);
+    let settle = replicated.expand(&req);
+    assert!(settle.stats.arena_cache_hit);
+    replicated.recycle(settle);
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        let resp = replicated.expand(&req);
+        assert!(resp.stats.arena_cache_hit);
+        assert_eq!(resp.stats.shards_omitted, 0);
+        assert!(resp.omitted_shards().is_empty());
+        assert!(
+            resp.clusters() == expected,
+            "warmed replicated serving stays deterministic"
+        );
+        replicated.recycle(resp);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        counted, 0,
+        "warmed replicated expand allocated: {counted} heap allocations counted"
+    );
+    let stats = replicated.stats();
+    for shard in &stats.shards {
+        assert_eq!(shard.scattered_retrievals, 1);
+        assert_eq!(shard.replicas.len(), 2);
+        assert_eq!(
+            shard.replicas.iter().map(|r| r.retrievals).sum::<u64>(),
+            1,
+            "exactly one replica served the one cold scatter"
+        );
+    }
 }

@@ -9,7 +9,14 @@
 //! returned [`FailGuard`]. Arming is deterministic and explicit: nothing
 //! fires unless a test armed it, and `arm_times(_, _, n)` fires exactly
 //! `n` times before going inert, so "panic the *first* build, let the
-//! retry succeed" is one line of test setup.
+//! retry succeed" is one line of test setup. For soak-style intermittent
+//! faults, [`arm_ratio`] fires on roughly 1-in-`n` hits, driven by a
+//! seeded xorshift64 so a given seed replays the same firing pattern.
+//!
+//! Every site also keeps cumulative [`SiteStats`] — arms, disarms, and
+//! fires — that survive disarming, so a chaos suite can assert "this
+//! fault actually triggered k times across the run" after its guards
+//! have dropped.
 //!
 //! Cost discipline
 //! ---------------
@@ -63,63 +70,114 @@ struct Armed {
     remaining: Option<usize>,
     /// Times this point fired since arming (inert hits don't count).
     hits: u64,
+    /// Probabilistic gate: `(denominator, rng_state)`. When present, each
+    /// hit rolls the xorshift64 state and fires only on `roll % denom ==
+    /// 0`; non-firing rolls spend neither `remaining` nor `hits`.
+    ratio: Option<(u32, u64)>,
+}
+
+/// Cumulative per-site counters that survive disarming (unlike
+/// [`hits`], which resets with each arm). `fires` counts actual
+/// triggers — inert hits and losing [`arm_ratio`] rolls don't count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Times the site was armed (re-arms included).
+    pub arms: u64,
+    /// Times the site was disarmed (guard drops and explicit
+    /// [`disarm`] calls on an armed site).
+    pub disarms: u64,
+    /// Times the site fired an action since process start.
+    pub fires: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    armed: HashMap<&'static str, Armed>,
+    stats: HashMap<&'static str, SiteStats>,
 }
 
 /// Number of armed entries, mirrored out of the registry so [`check`] can
 /// skip the lock entirely while nothing is armed.
 static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
-fn registry() -> MutexGuard<'static, HashMap<&'static str, Armed>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
     REGISTRY
-        .get_or_init(|| Mutex::new(HashMap::new()))
+        .get_or_init(|| Mutex::new(Registry::default()))
         .lock()
         .unwrap_or_else(|e| e.into_inner())
 }
 
-fn sync_active(map: &HashMap<&'static str, Armed>) {
-    ACTIVE.store(map.len(), Ordering::Release);
+fn sync_active(reg: &Registry) {
+    ACTIVE.store(reg.armed.len(), Ordering::Release);
 }
 
 /// Arms `name` with `action` until the returned guard drops. Re-arming an
 /// already-armed name replaces its action and resets its counters.
 #[must_use = "dropping the guard disarms the failpoint immediately"]
 pub fn arm(name: &'static str, action: FailAction) -> FailGuard {
-    arm_inner(name, action, None)
+    arm_inner(name, action, None, None)
 }
 
 /// Arms `name` to fire exactly `times` times, then go inert (still armed,
 /// never firing) until the guard drops.
 #[must_use = "dropping the guard disarms the failpoint immediately"]
 pub fn arm_times(name: &'static str, action: FailAction, times: usize) -> FailGuard {
-    arm_inner(name, action, Some(times))
+    arm_inner(name, action, Some(times), None)
 }
 
-fn arm_inner(name: &'static str, action: FailAction, remaining: Option<usize>) -> FailGuard {
-    let mut map = registry();
-    map.insert(
+/// Arms `name` to fire intermittently: each hit fires with probability
+/// `1/denominator` (a seeded xorshift64 roll — equal seeds replay equal
+/// firing patterns). Losing rolls pass through without counting as hits.
+/// `denominator` of 0 or 1 fires on every hit, like [`arm`].
+#[must_use = "dropping the guard disarms the failpoint immediately"]
+pub fn arm_ratio(name: &'static str, action: FailAction, denominator: u32, seed: u64) -> FailGuard {
+    // xorshift64 has one fixed point at 0; nudge the seed off it.
+    arm_inner(name, action, None, Some((denominator.max(1), seed | 1)))
+}
+
+fn arm_inner(
+    name: &'static str,
+    action: FailAction,
+    remaining: Option<usize>,
+    ratio: Option<(u32, u64)>,
+) -> FailGuard {
+    let mut reg = registry();
+    reg.armed.insert(
         name,
         Armed {
             action,
             remaining,
             hits: 0,
+            ratio,
         },
     );
-    sync_active(&map);
+    reg.stats.entry(name).or_default().arms += 1;
+    sync_active(&reg);
     FailGuard { name }
 }
 
 /// Disarms `name` (no-op when not armed). Prefer dropping the
 /// [`FailGuard`]; this exists for tests that hand guards across scopes.
 pub fn disarm(name: &str) {
-    let mut map = registry();
-    map.remove(name);
-    sync_active(&map);
+    let mut reg = registry();
+    if reg.armed.remove(name).is_some() {
+        if let Some(stats) = reg.stats.get_mut(name) {
+            stats.disarms += 1;
+        }
+    }
+    sync_active(&reg);
 }
 
 /// Times `name` fired since it was last armed (`0` when never armed).
 pub fn hits(name: &str) -> u64 {
-    registry().get(name).map_or(0, |a| a.hits)
+    registry().armed.get(name).map_or(0, |a| a.hits)
+}
+
+/// Cumulative arm/disarm/fire counters for `name` since process start.
+/// Unlike [`hits`], these survive disarming and re-arming.
+pub fn site_stats(name: &str) -> SiteStats {
+    registry().stats.get(name).copied().unwrap_or_default()
 }
 
 /// The trigger point call production code places at a named site.
@@ -129,23 +187,36 @@ pub fn hits(name: &str) -> u64 {
 /// [`FailAction::Delay`] sleeps then returns `Ok(())`, and
 /// [`FailAction::Error`] returns `Err(InjectedFailure)` for the caller's
 /// typed error path. A point armed with [`arm_times`] that has exhausted
-/// its fires is inert and returns `Ok(())`.
+/// its fires is inert and returns `Ok(())`, as is a hit whose
+/// [`arm_ratio`] roll loses.
 pub fn check(name: &'static str) -> Result<(), InjectedFailure> {
     if ACTIVE.load(Ordering::Acquire) == 0 {
         return Ok(());
     }
     let action = {
-        let mut map = registry();
-        let Some(armed) = map.get_mut(name) else {
+        let mut reg = registry();
+        let Some(armed) = reg.armed.get_mut(name) else {
             return Ok(());
         };
+        if let Some((denom, rng)) = &mut armed.ratio {
+            let mut x = *rng;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *rng = x;
+            if x % u64::from(*denom) != 0 {
+                return Ok(()); // losing roll: pass through silently
+            }
+        }
         match &mut armed.remaining {
             Some(0) => return Ok(()), // exhausted → inert
             Some(n) => *n -= 1,
             None => {}
         }
         armed.hits += 1;
-        armed.action
+        let action = armed.action;
+        reg.stats.entry(name).or_default().fires += 1;
+        action
     };
     // Act outside the registry lock so a panicking or sleeping site never
     // blocks other threads' checks.
@@ -261,5 +332,55 @@ mod tests {
         let _g2 = arm_times("tests.rearm", FailAction::Delay(Duration::ZERO), 1);
         assert_eq!(check("tests.rearm"), Ok(()), "replaced by a delay");
         assert_eq!(hits("tests.rearm"), 1, "counters reset by re-arm");
+    }
+
+    #[test]
+    fn ratio_fires_intermittently_and_deterministically() {
+        let _s = serial();
+        let fired = |seed| {
+            let _g = arm_ratio("tests.ratio", FailAction::Error, 4, seed);
+            (0..64).filter(|_| check("tests.ratio").is_err()).count()
+        };
+        let first = fired(11);
+        assert!(
+            first > 0 && first < 64,
+            "1-in-4 over 64 hits should fire some but not all, got {first}"
+        );
+        assert_eq!(first, fired(11), "equal seeds replay the same pattern");
+        assert_ne!(hits("tests.ratio"), 64, "losing rolls don't count as hits");
+    }
+
+    #[test]
+    fn ratio_denominator_of_one_fires_every_hit() {
+        let _s = serial();
+        let _g = arm_ratio("tests.ratio_all", FailAction::Error, 1, 3);
+        for _ in 0..8 {
+            assert!(check("tests.ratio_all").is_err());
+        }
+        assert_eq!(hits("tests.ratio_all"), 8);
+    }
+
+    #[test]
+    fn site_stats_survive_disarm_and_rearm() {
+        let _s = serial();
+        let before = site_stats("tests.stats");
+        {
+            let _g = arm("tests.stats", FailAction::Error);
+            assert!(check("tests.stats").is_err());
+            assert!(check("tests.stats").is_err());
+        }
+        assert_eq!(hits("tests.stats"), 0, "per-arming hits reset on disarm");
+        {
+            let _g = arm_times("tests.stats", FailAction::Error, 1);
+            assert!(check("tests.stats").is_err());
+            assert!(check("tests.stats").is_ok(), "inert hits don't fire");
+        }
+        let after = site_stats("tests.stats");
+        assert_eq!(after.arms, before.arms + 2);
+        assert_eq!(after.disarms, before.disarms + 2);
+        assert_eq!(after.fires, before.fires + 3);
+        // Disarming an unarmed site is not counted.
+        disarm("tests.stats");
+        assert_eq!(site_stats("tests.stats").disarms, after.disarms);
     }
 }

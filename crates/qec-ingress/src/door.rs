@@ -423,6 +423,17 @@ fn collect(shared: &Shared) {
             Ok(()) => {
                 debug_assert_eq!(results.len(), chunk.len());
                 for (p, result) in chunk.drain(..).zip(results.drain(..)) {
+                    // Not-quite-whole completions are worth counting at
+                    // the front door: `Ok` responses that a deadline
+                    // degraded or a shard outage made partial.
+                    if let Ok(resp) = &result {
+                        if resp.stats.degraded {
+                            StatsCells::bump(&shared.stats.degraded);
+                        }
+                        if resp.stats.shards_omitted > 0 {
+                            StatsCells::bump(&shared.stats.partial);
+                        }
+                    }
                     p.slot.complete(result);
                 }
             }

@@ -31,6 +31,8 @@ pub(crate) struct StatsCells {
     pub full_closes: AtomicU64,
     pub linger_closes: AtomicU64,
     pub drain_closes: AtomicU64,
+    pub degraded: AtomicU64,
+    pub partial: AtomicU64,
     pub fill_hist: [AtomicU64; FILL_BUCKETS],
 }
 
@@ -58,6 +60,8 @@ impl StatsCells {
             full_closes: self.full_closes.load(Ordering::Relaxed),
             linger_closes: self.linger_closes.load(Ordering::Relaxed),
             drain_closes: self.drain_closes.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            partial: self.partial.load(Ordering::Relaxed),
             fill_hist: std::array::from_fn(|i| self.fill_hist[i].load(Ordering::Relaxed)),
         }
     }
@@ -97,6 +101,16 @@ pub struct IngressStats {
     pub linger_closes: u64,
     /// Chunks closed by the shutdown drain.
     pub drain_closes: u64,
+    /// Requests that completed `Ok` but **degraded** — a deadline tripped
+    /// after the pipeline existed, so the response carries an intact
+    /// prefix of cluster expansions
+    /// ([`ExpandStats::degraded`](qec_engine::ExpandStats::degraded)).
+    pub degraded: u64,
+    /// Requests that completed `Ok` but **partial** — a replicated
+    /// scatter omitted at least one shard whose every replica was
+    /// unavailable
+    /// ([`ExpandStats::shards_omitted`](qec_engine::ExpandStats::shards_omitted)).
+    pub partial: u64,
     /// Dispatched-chunk fill histogram; bucket ranges in
     /// [`FILL_BUCKET_LABELS`].
     pub fill_hist: [u64; FILL_BUCKETS],
