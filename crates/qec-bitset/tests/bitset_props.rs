@@ -169,3 +169,83 @@ fn rank_select_roundtrip_over_random_sets() {
         }
     }
 }
+
+#[test]
+fn word_slice_roundtrip_matches_btreeset_reference() {
+    // The serialization contract: `as_words` → (persist) → `from_words`
+    // reproduces the exact member set, and a `RankIndex` rebuilt on the
+    // loaded set (the rebuild-on-load path — the sidecar is never
+    // persisted) answers rank/select like the reference.
+    let mut rng = SplitMix64(0xD15C);
+    for universe in UNIVERSES {
+        for density in DENSITIES {
+            let members = random_members(&mut rng, universe, density);
+            let s = bitset_of(universe, &members);
+            let ctx = format!("universe {universe}, density {density}");
+
+            let words = s.as_words().to_vec();
+            assert_eq!(words.len(), universe.div_ceil(64), "word count: {ctx}");
+            let loaded = Bitset::from_words(universe, words).expect(&ctx);
+            assert_eq!(loaded, s, "round-trip equality: {ctx}");
+            assert_eq!(
+                loaded.iter().collect::<BTreeSet<_>>(),
+                members,
+                "members: {ctx}"
+            );
+
+            let mut idx = RankIndex::new();
+            idx.rebuild(&loaded);
+            assert_eq!(idx.ones(), members.len(), "rebuilt ones: {ctx}");
+            for (n, &m) in members.iter().enumerate() {
+                assert_eq!(idx.select(&loaded, n), Some(m), "rebuilt select: {ctx}");
+                assert_eq!(idx.rank(&loaded, m), n, "rebuilt rank: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn from_words_rejects_malformed_buffers_with_typed_errors() {
+    use qec_bitset::FromWordsError;
+
+    // Wrong word counts: one short, one long, and the empty buffer.
+    for (universe, len) in [(65usize, 1usize), (65, 3), (64, 0), (0, 1)] {
+        let err = Bitset::from_words(universe, vec![0; len]).unwrap_err();
+        assert_eq!(
+            err,
+            FromWordsError::WrongWordCount {
+                universe,
+                expected: universe.div_ceil(64),
+                got: len
+            },
+            "universe {universe}, len {len}"
+        );
+        assert!(err.to_string().contains("words"), "message: {err}");
+    }
+
+    // Tail bits beyond the universe must be zero — every tail position of
+    // a partial last word is probed.
+    for universe in [1usize, 63, 65, 127, 200] {
+        let tail_bits = universe % 64;
+        assert_ne!(tail_bits, 0, "test picks partial-word universes");
+        for bad_bit in tail_bits..64 {
+            let mut words = vec![0u64; universe.div_ceil(64)];
+            *words.last_mut().unwrap() = 1u64 << bad_bit;
+            let err = Bitset::from_words(universe, words).unwrap_err();
+            assert_eq!(
+                err,
+                FromWordsError::TailBitsSet { universe },
+                "universe {universe}, bit {bad_bit}"
+            );
+        }
+    }
+
+    // Word-aligned universes have no tail to violate: all-ones loads fine.
+    let full = Bitset::from_words(128, vec![u64::MAX; 2]).unwrap();
+    assert_eq!(full.len(), 128);
+    assert_eq!(full, Bitset::full(128));
+
+    // And the empty universe round-trips through an empty buffer.
+    let empty = Bitset::from_words(0, Vec::new()).unwrap();
+    assert!(empty.is_empty());
+}

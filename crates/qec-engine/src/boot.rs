@@ -1,0 +1,95 @@
+//! Snapshot-backed boot accounting.
+//!
+//! An engine can boot two ways: restore its frozen corpus from a
+//! [`qec-snapshot`](qec_snapshot) file, or rebuild it in memory from the
+//! builder's documents. Loading is strictly an optimization — **any**
+//! snapshot failure (missing file, corruption, version skew, injected
+//! fault) falls back to the in-memory rebuild, and the engine comes up
+//! either way. [`BootStats`] records which path each corpus took so
+//! operators can tell a warm boot from a silent cold one.
+
+use std::path::Path;
+
+/// How the engine's corpora came up: restored from snapshots, rebuilt in
+/// memory, or fell back after a snapshot failed to load. Exposed through
+/// `QecEngine::boot_stats` / `ShardedEngine::boot_stats`.
+///
+/// For a plain engine there is exactly one corpus, so the counters sum to
+/// one. For a sharded engine the gather corpus and every shard sub-corpus
+/// each count once (replicas share their shard's corpus and are not
+/// counted separately): `snapshots_loaded + rebuilt_cold` = 1 + shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BootStats {
+    /// Corpora restored from a snapshot file.
+    pub snapshots_loaded: usize,
+    /// Corpora rebuilt in memory (no snapshot registered, or fallback).
+    pub rebuilt_cold: usize,
+    /// Registered snapshots that failed to load; each also counts in
+    /// [`rebuilt_cold`](Self::rebuilt_cold) because the fallback rebuilt
+    /// the corpus.
+    pub snapshot_fallbacks: usize,
+    /// One line per fallback: the path and the typed
+    /// [`SnapshotError`](qec_snapshot::SnapshotError) that rejected it.
+    pub errors: Vec<String>,
+}
+
+impl BootStats {
+    pub(crate) fn loaded(&mut self) {
+        self.snapshots_loaded += 1;
+    }
+
+    pub(crate) fn cold(&mut self) {
+        self.rebuilt_cold += 1;
+    }
+
+    pub(crate) fn fallback(&mut self, path: &Path, why: impl std::fmt::Display) {
+        self.snapshot_fallbacks += 1;
+        self.rebuilt_cold += 1;
+        self.errors.push(format!("{}: {why}", path.display()));
+    }
+}
+
+/// File name of the gather (full-corpus) snapshot in a sharded snapshot
+/// directory.
+pub(crate) const FULL_SNAPSHOT: &str = "full.qsnap";
+
+/// File name of shard `i`'s snapshot in an `n`-shard snapshot directory.
+pub(crate) fn shard_snapshot_name(i: usize, n: usize) -> String {
+    format!("shard-{i}-of-{n}.qsnap")
+}
+
+/// Documents a contiguous near-even `n`-way split places on shard `i`
+/// (the first `total % n` shards hold one extra) — the shape
+/// `Corpus::split` produces and a loaded shard snapshot must match for
+/// the gather side's doc-id base offsets to be correct.
+pub(crate) fn expected_shard_len(total: usize, n: usize, i: usize) -> usize {
+    total / n + usize::from(i < total % n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_lengths_cover_the_corpus_contiguously() {
+        for total in [0usize, 1, 7, 90, 91] {
+            for n in 1..=total.max(1) {
+                let lens: Vec<usize> = (0..n).map(|i| expected_shard_len(total, n, i)).collect();
+                assert_eq!(lens.iter().sum::<usize>(), total, "total {total} n {n}");
+                assert!(lens.windows(2).all(|w| w[0] >= w[1]), "extras lead");
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_counts_both_ways_and_keeps_the_reason() {
+        let mut boot = BootStats::default();
+        boot.loaded();
+        boot.fallback(Path::new("/tmp/x.qsnap"), "bad magic");
+        assert_eq!(boot.snapshots_loaded, 1);
+        assert_eq!(boot.rebuilt_cold, 1);
+        assert_eq!(boot.snapshot_fallbacks, 1);
+        assert!(boot.errors[0].contains("/tmp/x.qsnap"));
+        assert!(boot.errors[0].contains("bad magic"));
+    }
+}

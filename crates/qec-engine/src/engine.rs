@@ -27,6 +27,7 @@
 //! per-cluster fan-out instead.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -42,11 +43,13 @@ use qec_index::{
     Corpus, CorpusBuilder, DocId, DocumentSpec, Hit, QuerySemantics, SearchScratch, Searcher,
     TfIdfRanker,
 };
+use qec_snapshot::{SnapshotError, SnapshotSummary};
 use qec_text::TermId;
 
 use crate::api::{
     ClusterExpansion, EngineError, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy,
 };
+use crate::boot::BootStats;
 use crate::cache::{
     BuildTicket, CacheProbe, CacheStats, CachedCluster, CachedPipeline, KeyRef, SharedArenaCache,
 };
@@ -855,6 +858,9 @@ pub struct QecEngine {
     /// chunk holds two or more cold keys, their pipeline builds run as
     /// pool tasks, each on its own pooled [`SearchScratch`].
     build_scratches: ScratchPool<SearchScratch>,
+    /// How the corpus came up (snapshot restore, cold rebuild, or
+    /// fallback); see [`boot_stats`](Self::boot_stats).
+    boot: BootStats,
     /// Requests currently being served — the admission-control gauge
     /// compared against [`AdmissionConfig::max_in_flight`](crate::config::AdmissionConfig::max_in_flight).
     in_flight: AtomicUsize,
@@ -930,6 +936,22 @@ impl QecEngine {
     /// snapshot in [`ExpandStats::cache`]).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// How this engine's corpus came up: restored from a snapshot, rebuilt
+    /// cold, or fell back to the rebuild after a snapshot failed to load
+    /// (the [`BootStats::errors`] lines say why).
+    pub fn boot_stats(&self) -> &BootStats {
+        &self.boot
+    }
+
+    /// Writes the engine's frozen corpus to `path` as a crash-safe
+    /// snapshot (see [`qec_snapshot::save_corpus`]): temp file → fsync →
+    /// atomic rename, so the previous snapshot is never clobbered. An
+    /// engine booted from the resulting file serves responses
+    /// bit-identical to this one.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<SnapshotSummary, SnapshotError> {
+        qec_snapshot::save_corpus(&self.corpus, path.as_ref())
     }
 
     /// Serves one expansion request.
@@ -1976,6 +1998,14 @@ pub struct EngineBuilder {
     /// Shards for this engine to gather (set only on a
     /// [`ShardedEngine`](crate::ShardedEngine)'s gather engine).
     shards: Option<ShardSet>,
+    /// Snapshot to restore the corpus from at [`build`](Self::build);
+    /// any load failure falls back to `source`.
+    snapshot: Option<PathBuf>,
+    /// Pre-computed boot accounting (sharded construction only): when
+    /// set, [`build`](Self::build) adopts it verbatim instead of counting
+    /// its own corpus — the sharded builder already counted the gather
+    /// corpus and every shard.
+    boot_seed: Option<BootStats>,
 }
 
 enum Source {
@@ -1999,6 +2029,8 @@ impl EngineBuilder {
             clusterer: None,
             shared_pool: None,
             shards: None,
+            snapshot: None,
+            boot_seed: None,
         }
     }
 
@@ -2011,6 +2043,8 @@ impl EngineBuilder {
             clusterer: None,
             shared_pool: None,
             shards: None,
+            snapshot: None,
+            boot_seed: None,
         }
     }
 
@@ -2138,12 +2172,72 @@ impl EngineBuilder {
         self
     }
 
-    /// Freezes the corpus (if building) and assembles the engine,
-    /// spawning the worker pool when enabled (or adopting the shared one).
-    pub fn build(self) -> QecEngine {
+    /// Adopts pre-computed boot accounting (sharded construction only).
+    pub(crate) fn boot_seed(mut self, boot: BootStats) -> Self {
+        self.boot_seed = Some(boot);
+        self
+    }
+
+    /// Registers a snapshot to restore the corpus from at
+    /// [`build`](Self::build). On a successful load the snapshot **wins**
+    /// — any documents added to this builder (or a
+    /// [`from_corpus`](Self::from_corpus) corpus) are ignored. On **any**
+    /// load failure — missing file, corruption, truncation, version skew,
+    /// an injected IO fault — the build falls back to the in-memory
+    /// source and the engine comes up anyway; the outcome either way is
+    /// recorded in [`QecEngine::boot_stats`].
+    pub fn load_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot = Some(path.into());
+        self
+    }
+
+    /// Freezes the corpus now (if still building) and writes it to `path`
+    /// as a crash-safe snapshot, returning the builder — now over the
+    /// frozen corpus — for chaining into [`build`](Self::build). The
+    /// write is atomic: on error the previous snapshot at `path` is
+    /// untouched and the builder (with its frozen corpus) is lost with
+    /// the error, so nothing half-written can be loaded later.
+    pub fn save_snapshot(mut self, path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
         let corpus = match self.source {
             Source::Building(b) => b.build(),
             Source::Prebuilt(c) => c,
+        };
+        qec_snapshot::save_corpus(&corpus, path.as_ref())?;
+        self.source = Source::Prebuilt(corpus);
+        Ok(self)
+    }
+
+    /// Freezes the corpus (if building) and assembles the engine,
+    /// spawning the worker pool when enabled (or adopting the shared one).
+    pub fn build(self) -> QecEngine {
+        // Resolve the corpus: a registered snapshot is tried first; any
+        // failure falls back to the in-memory source. A seeded BootStats
+        // (sharded construction) is adopted verbatim — the sharded
+        // builder already counted every corpus of the deployment.
+        let seeded = self.boot_seed.is_some();
+        let mut boot = self.boot_seed.unwrap_or_default();
+        let source = self.source;
+        let rebuild = move || match source {
+            Source::Building(b) => b.build(),
+            Source::Prebuilt(c) => c,
+        };
+        let corpus = match &self.snapshot {
+            Some(path) => match qec_snapshot::load_corpus(path) {
+                Ok(c) => {
+                    boot.loaded();
+                    c
+                }
+                Err(e) => {
+                    boot.fallback(path, e);
+                    rebuild()
+                }
+            },
+            None => {
+                if !seeded {
+                    boot.cold();
+                }
+                rebuild()
+            }
         };
         let config = self.config;
         let clusterer = self
@@ -2175,6 +2269,7 @@ impl EngineBuilder {
             shards: self.shards,
             scratches: ScratchPool::new(),
             build_scratches: ScratchPool::new(),
+            boot,
             in_flight: AtomicUsize::new(0),
             corpus,
             config,

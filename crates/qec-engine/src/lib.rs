@@ -72,6 +72,26 @@
 //! interchangeable engines and the scatter path adds retry, hedging, and
 //! per-replica circuit breakers. See the [`shard`] module docs.
 //!
+//! # Snapshot boot
+//!
+//! Booting no longer has to rebuild the index in memory:
+//! [`QecEngine::save_snapshot`] persists the frozen corpus crash-safely
+//! through [`qec-snapshot`](qec_snapshot) (temp file → fsync → atomic
+//! rename — the previous snapshot is never clobbered), and
+//! [`EngineBuilder::load_snapshot`] restores it at build. Restoration is
+//! strictly an optimization: **any** load failure — missing file,
+//! corruption, truncation, version skew — falls back to the in-memory
+//! rebuild and the engine comes up regardless, with the outcome counted
+//! in [`QecEngine::boot_stats`] ([`BootStats`]). A sharded deployment
+//! saves `full.qsnap` plus one file per shard
+//! ([`ShardedEngine::save_snapshot`]) and restores shard-by-shard with
+//! per-shard fallback ([`ShardedEngineBuilder::load_snapshots`]);
+//! generation skew is caught by the dictionary fingerprint every shard
+//! file carries. A snapshot-booted engine serves responses bit-identical
+//! to a fresh-built one (`tests/snapshot_parity.rs`), and
+//! `tests/snapshot_chaos.rs` drives crash-mid-save and corrupted-load
+//! faults through the `snapshot.*` failpoints.
+//!
 //! # Failure semantics
 //!
 //! The serving path is deadline-aware and fault-isolated. Each
@@ -111,6 +131,7 @@
 //! [`timeout`]: ExpandRequest::timeout
 
 pub mod api;
+pub mod boot;
 pub mod cache;
 pub mod config;
 pub mod engine;
@@ -119,6 +140,7 @@ pub mod shard;
 pub use api::{
     ClusterExpansion, EngineError, ExpandRequest, ExpandResponse, ExpandStats, ExpandStrategy,
 };
+pub use boot::BootStats;
 pub use cache::{BuildTicket, CacheProbe, CacheStats, SharedArenaCache};
 pub use config::{AdmissionConfig, CacheConfig, EngineConfig, PoolConfig, ReplicationConfig};
 pub use engine::{EngineBuilder, QecEngine};
@@ -131,4 +153,5 @@ pub use shard::{
 pub use qec_cluster::{Clusterer, KMeansClusterer};
 pub use qec_core::{BreakerState, CancelSignal, CancelToken, Expander, QueryQuality};
 pub use qec_index::{Corpus, DocId, DocumentSpec, QuerySemantics};
+pub use qec_snapshot::{SnapshotError, SnapshotSummary};
 pub use qec_text::TermId;

@@ -52,14 +52,17 @@
 //! behaviours through injected faults.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use qec_cluster::Clusterer;
 use qec_core::{default_parallelism, BreakerState, WorkerPool};
 use qec_index::{Corpus, CorpusBuilder, DocumentSpec};
+use qec_snapshot::{SnapshotError, SnapshotSummary};
 
 use crate::api::{EngineError, ExpandRequest, ExpandResponse};
+use crate::boot::{expected_shard_len, shard_snapshot_name, BootStats, FULL_SNAPSHOT};
 use crate::cache::CacheStats;
 use crate::config::EngineConfig;
 use crate::engine::{EngineBuilder, QecEngine, ShardSet};
@@ -111,6 +114,41 @@ impl ShardedEngine {
     /// after the merge).
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache_stats()
+    }
+
+    /// How the deployment's corpora came up: the gather corpus and every
+    /// shard sub-corpus each count once as snapshot-restored, cold-built,
+    /// or fallen-back (see [`BootStats`]).
+    pub fn boot_stats(&self) -> &BootStats {
+        self.inner.boot_stats()
+    }
+
+    /// Writes the deployment's snapshot set into `dir` (created if
+    /// missing): `full.qsnap` for the gather corpus plus one
+    /// `shard-{i}-of-{n}.qsnap` per shard, each written crash-safely (see
+    /// [`qec_snapshot::save_corpus`]). Returns the summaries in that
+    /// order. A later
+    /// [`ShardedEngineBuilder::load_snapshots`] boot from this directory
+    /// serves bit-identical responses; every shard file carries the full
+    /// snapshot's dictionary fingerprint, which the loader verifies
+    /// before trusting it.
+    pub fn save_snapshot(
+        &self,
+        dir: impl AsRef<Path>,
+    ) -> Result<Vec<SnapshotSummary>, SnapshotError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut summaries = vec![self.inner.save_snapshot(dir.join(FULL_SNAPSHOT))?];
+        if let Some(set) = self.inner.shard_set() {
+            let n = set.shards.len();
+            for (i, shard) in set.shards.iter().enumerate() {
+                summaries.push(qec_snapshot::save_corpus(
+                    shard.replicas[0].engine.corpus(),
+                    &dir.join(shard_snapshot_name(i, n)),
+                )?);
+            }
+        }
+        Ok(summaries)
     }
 
     /// Rolled-up serving statistics: the gather cache snapshot plus one
@@ -314,6 +352,9 @@ pub struct ShardedEngineBuilder {
     config: EngineConfig,
     clusterer: Option<Box<dyn Clusterer>>,
     num_shards: usize,
+    /// Snapshot directory to restore from at build; see
+    /// [`load_snapshots`](Self::load_snapshots).
+    snapshot_dir: Option<PathBuf>,
 }
 
 enum Source {
@@ -336,6 +377,7 @@ impl ShardedEngineBuilder {
             config: EngineConfig::default(),
             clusterer: None,
             num_shards: 1,
+            snapshot_dir: None,
         }
     }
 
@@ -346,7 +388,28 @@ impl ShardedEngineBuilder {
             config: EngineConfig::default(),
             clusterer: None,
             num_shards: 1,
+            snapshot_dir: None,
         }
+    }
+
+    /// Registers a snapshot directory (as written by
+    /// [`ShardedEngine::save_snapshot`]) to restore from at build:
+    /// `full.qsnap` boots the gather corpus and each
+    /// `shard-{i}-of-{n}.qsnap` boots that shard's sub-corpus directly,
+    /// skipping both the full rebuild and the split.
+    ///
+    /// Restoration is strictly best-effort, shard by shard. A shard file
+    /// that is missing, corrupt, from another snapshot generation (its
+    /// dictionary fingerprint disagrees with `full.qsnap`'s), or the
+    /// wrong size for this shard count falls back to re-splitting the
+    /// gather corpus — only that shard pays the rebuild. If `full.qsnap`
+    /// itself fails to load, the gather corpus falls back to the
+    /// in-memory source and **no** shard file is trusted (there is no
+    /// fingerprint left to check them against). Every outcome is counted
+    /// in [`ShardedEngine::boot_stats`].
+    pub fn load_snapshots(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
     }
 
     /// Sets the shard count. Documents are partitioned contiguously and
@@ -504,9 +567,34 @@ impl ShardedEngineBuilder {
     /// documents than shards were requested (an empty corpus still admits
     /// the `num_shards(1)` single-engine path).
     pub fn try_build(self) -> Result<ShardedEngine, ShardedBuildError> {
-        let corpus = match self.source {
+        let mut boot = BootStats::default();
+        // Gather corpus: the registered full snapshot first, the
+        // in-memory source on any load failure.
+        let mut full_summary = None;
+        let source = self.source;
+        let rebuild = move || match source {
             Source::Building(b) => b.build(),
             Source::Prebuilt(c) => c,
+        };
+        let corpus = match &self.snapshot_dir {
+            Some(dir) => {
+                let path = dir.join(FULL_SNAPSHOT);
+                match qec_snapshot::load_corpus_with_summary(&path) {
+                    Ok((c, summary)) => {
+                        boot.loaded();
+                        full_summary = Some(summary);
+                        c
+                    }
+                    Err(e) => {
+                        boot.fallback(&path, e);
+                        rebuild()
+                    }
+                }
+            }
+            None => {
+                boot.cold();
+                rebuild()
+            }
         };
         let num_shards = self.num_shards;
         if num_shards == 0 {
@@ -541,8 +629,20 @@ impl ShardedEngineBuilder {
             shard_config.cache.enabled = false;
             shard_config.admission.max_in_flight = 0;
             shard_config.pool.enabled = false;
-            let groups: Vec<Vec<QecEngine>> = corpus
-                .split(num_shards)
+            // Shard sub-corpora: per-shard snapshot files when a loaded
+            // full snapshot vouches for their generation, the gather
+            // corpus's split otherwise (and for every shard whose file
+            // was refused).
+            let subs = match (&self.snapshot_dir, &full_summary) {
+                (Some(dir), Some(full)) => {
+                    load_shard_corpora(dir, full, &corpus, num_shards, &mut boot)
+                }
+                _ => {
+                    boot.rebuilt_cold += num_shards;
+                    corpus.split(num_shards)
+                }
+            };
+            let groups: Vec<Vec<QecEngine>> = subs
                 .into_iter()
                 .map(|sub| {
                     // Replicas of one shard share the sub-corpus clone
@@ -560,7 +660,7 @@ impl ShardedEngineBuilder {
             gather = gather.shards(ShardSet::new(groups, self.config.replication.clone()));
         }
         Ok(ShardedEngine {
-            inner: gather.build(),
+            inner: gather.boot_seed(boot).build(),
             num_shards,
         })
     }
@@ -569,5 +669,68 @@ impl ShardedEngineBuilder {
     /// serving layers.
     pub fn build_shared(self) -> Arc<ShardedEngine> {
         Arc::new(self.build())
+    }
+}
+
+/// Restores the `n` shard sub-corpora from their snapshot files, falling
+/// back to re-splitting `corpus` for every shard whose file is missing,
+/// corrupt, from another generation, or the wrong size. A shard file is
+/// only trusted when its dictionary fingerprint (`dict_crc` + vocab size)
+/// matches the loaded full snapshot's — equal fingerprints mean the two
+/// interned the same terms in the same order, so shard-local postings
+/// speak the gather corpus's `TermId`s — and its document count matches
+/// what the contiguous split places on that shard (anything else would
+/// shift every later shard's global doc-id base).
+fn load_shard_corpora(
+    dir: &Path,
+    full: &SnapshotSummary,
+    corpus: &Corpus,
+    n: usize,
+    boot: &mut BootStats,
+) -> Vec<Corpus> {
+    let total = corpus.num_docs();
+    let mut subs: Vec<Option<Corpus>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = dir.join(shard_snapshot_name(i, n));
+        match qec_snapshot::load_corpus_with_summary(&path) {
+            Ok((c, s)) => {
+                let expected = expected_shard_len(total, n, i);
+                if s.dict_crc != full.dict_crc || s.vocab != full.vocab {
+                    boot.fallback(
+                        &path,
+                        "dictionary fingerprint disagrees with full.qsnap \
+                         (mixed snapshot generations)",
+                    );
+                    subs.push(None);
+                } else if c.num_docs() != expected {
+                    boot.fallback(
+                        &path,
+                        format!(
+                            "holds {} docs where the {n}-way split of {total} places {expected}",
+                            c.num_docs()
+                        ),
+                    );
+                    subs.push(None);
+                } else {
+                    boot.loaded();
+                    subs.push(Some(c));
+                }
+            }
+            Err(e) => {
+                boot.fallback(&path, e);
+                subs.push(None);
+            }
+        }
+    }
+    if subs.iter().all(Option::is_some) {
+        subs.into_iter().flatten().collect()
+    } else {
+        // At least one shard fell back: split once and patch the holes;
+        // shards whose files loaded keep their restored corpora.
+        let split = corpus.split(n);
+        subs.into_iter()
+            .zip(split)
+            .map(|(restored, fresh)| restored.unwrap_or(fresh))
+            .collect()
     }
 }

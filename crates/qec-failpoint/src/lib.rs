@@ -4,7 +4,8 @@
 //! Production code declares **named trigger points** (e.g.
 //! `"engine.build_pipeline"`) and calls [`check`] at each one; tests
 //! **arm** a point with an action — [`FailAction::Panic`],
-//! [`FailAction::Delay`], or [`FailAction::Error`] — through [`arm`] /
+//! [`FailAction::Delay`], [`FailAction::Error`], or the IO-shaped
+//! [`FailAction::ReturnErr`] — through [`arm`] /
 //! [`arm_times`], exercise the failure path, and disarm by dropping the
 //! returned [`FailGuard`]. Arming is deterministic and explicit: nothing
 //! fires unless a test armed it, and `arm_times(_, _, n)` fires exactly
@@ -45,6 +46,11 @@ pub enum FailAction {
     /// Return [`InjectedFailure`] from [`check`] (exercises typed error
     /// paths without unwinding).
     Error,
+    /// Return [`InjectedFailure`] carrying an [`std::io::ErrorKind`], so
+    /// IO call sites (snapshot write/fsync/load) can surface a precise
+    /// recoverable `io::Error` instead of panicking and poisoning worker
+    /// threads. Convert with `std::io::Error::from(failure)`.
+    ReturnErr(std::io::ErrorKind),
 }
 
 /// The typed error [`check`] returns at a point armed with
@@ -53,15 +59,39 @@ pub enum FailAction {
 pub struct InjectedFailure {
     /// Name of the trigger point that fired.
     pub site: &'static str,
+    /// The IO error kind carried by [`FailAction::ReturnErr`]; `None`
+    /// when the plain [`FailAction::Error`] fired.
+    pub kind: Option<std::io::ErrorKind>,
+}
+
+impl InjectedFailure {
+    /// A plain (non-IO) injected failure at `site`.
+    pub fn at(site: &'static str) -> Self {
+        InjectedFailure { site, kind: None }
+    }
 }
 
 impl std::fmt::Display for InjectedFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "injected failure at failpoint `{}`", self.site)
+        match self.kind {
+            Some(kind) => write!(
+                f,
+                "injected failure at failpoint `{}` ({kind:?})",
+                self.site
+            ),
+            None => write!(f, "injected failure at failpoint `{}`", self.site),
+        }
     }
 }
 
 impl std::error::Error for InjectedFailure {}
+
+impl From<InjectedFailure> for std::io::Error {
+    fn from(failure: InjectedFailure) -> Self {
+        let kind = failure.kind.unwrap_or(std::io::ErrorKind::Other);
+        std::io::Error::new(kind, failure.to_string())
+    }
+}
 
 #[derive(Debug)]
 struct Armed {
@@ -186,7 +216,8 @@ pub fn site_stats(name: &str) -> SiteStats {
 /// then `Ok(())`. Armed: [`FailAction::Panic`] panics, \
 /// [`FailAction::Delay`] sleeps then returns `Ok(())`, and
 /// [`FailAction::Error`] returns `Err(InjectedFailure)` for the caller's
-/// typed error path. A point armed with [`arm_times`] that has exhausted
+/// typed error path ([`FailAction::ReturnErr`] likewise, with its
+/// [`std::io::ErrorKind`] attached). A point armed with [`arm_times`] that has exhausted
 /// its fires is inert and returns `Ok(())`, as is a hit whose
 /// [`arm_ratio`] roll loses.
 pub fn check(name: &'static str) -> Result<(), InjectedFailure> {
@@ -226,7 +257,14 @@ pub fn check(name: &'static str) -> Result<(), InjectedFailure> {
             std::thread::sleep(d);
             Ok(())
         }
-        FailAction::Error => Err(InjectedFailure { site: name }),
+        FailAction::Error => Err(InjectedFailure {
+            site: name,
+            kind: None,
+        }),
+        FailAction::ReturnErr(kind) => Err(InjectedFailure {
+            site: name,
+            kind: Some(kind),
+        }),
     }
 }
 
@@ -274,10 +312,7 @@ mod tests {
     fn error_action_returns_typed_failure_until_guard_drops() {
         let _s = serial();
         let guard = arm("tests.err", FailAction::Error);
-        assert_eq!(
-            check("tests.err"),
-            Err(InjectedFailure { site: "tests.err" })
-        );
+        assert_eq!(check("tests.err"), Err(InjectedFailure::at("tests.err")));
         assert_eq!(
             check("tests.err").unwrap_err().to_string(),
             "injected failure at failpoint `tests.err`"
@@ -358,6 +393,36 @@ mod tests {
             assert!(check("tests.ratio_all").is_err());
         }
         assert_eq!(hits("tests.ratio_all"), 8);
+    }
+
+    #[test]
+    fn return_err_carries_an_io_kind_without_unwinding() {
+        let _s = serial();
+        use std::io::ErrorKind;
+        let before = site_stats("tests.io");
+        {
+            let _g = arm("tests.io", FailAction::ReturnErr(ErrorKind::WouldBlock));
+            let failure = check("tests.io").unwrap_err();
+            assert_eq!(failure.site, "tests.io");
+            assert_eq!(failure.kind, Some(ErrorKind::WouldBlock));
+            assert!(failure.to_string().contains("WouldBlock"));
+            // The whole point: converts to a recoverable io::Error instead
+            // of panicking inside an IO routine.
+            let io: std::io::Error = failure.into();
+            assert_eq!(io.kind(), ErrorKind::WouldBlock);
+        }
+        assert_eq!(check("tests.io"), Ok(()), "guard drop disarms");
+        // Per-site stats cover ReturnErr fires exactly like other actions.
+        let after = site_stats("tests.io");
+        assert_eq!(after.arms, before.arms + 1);
+        assert_eq!(after.disarms, before.disarms + 1);
+        assert_eq!(after.fires, before.fires + 1);
+    }
+
+    #[test]
+    fn plain_error_converts_to_an_other_io_error() {
+        let io: std::io::Error = InjectedFailure::at("tests.convert").into();
+        assert_eq!(io.kind(), std::io::ErrorKind::Other);
     }
 
     #[test]

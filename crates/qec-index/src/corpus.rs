@@ -14,7 +14,7 @@ use crate::inverted::InvertedIndex;
 use qec_text::{Analyzer, AnalyzerConfig, TermId};
 
 /// Per-document stored metadata (original strings kept for display).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredDoc {
     /// Document title as supplied.
     pub title: String,
@@ -117,10 +117,113 @@ pub struct Corpus {
     index: InvertedIndex,
 }
 
+/// Why [`Corpus::from_frozen_parts`] rejected its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusPartsError {
+    /// `docs` and `doc_terms` differ in length.
+    LengthMismatch {
+        /// Number of stored documents supplied.
+        docs: usize,
+        /// Number of per-document term rows supplied.
+        doc_terms: usize,
+    },
+    /// The index was never finalized, or covers a different document count.
+    IndexMismatch,
+    /// A document's term row is not strictly sorted by term id.
+    UnsortedDocTerms {
+        /// Offending document.
+        doc: u32,
+    },
+    /// A document references a term id beyond the dictionary.
+    TermOutOfRange {
+        /// Offending document.
+        doc: u32,
+    },
+    /// A document's stored length is not the sum of its term frequencies.
+    WrongDocLen {
+        /// Offending document.
+        doc: u32,
+    },
+}
+
+impl std::fmt::Display for CorpusPartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusPartsError::LengthMismatch { docs, doc_terms } => {
+                write!(f, "{docs} stored docs but {doc_terms} term rows")
+            }
+            CorpusPartsError::IndexMismatch => {
+                write!(f, "index is unfinalized or covers a different doc count")
+            }
+            CorpusPartsError::UnsortedDocTerms { doc } => {
+                write!(f, "term row of doc {doc} is not strictly sorted")
+            }
+            CorpusPartsError::TermOutOfRange { doc } => {
+                write!(f, "doc {doc} references a term beyond the dictionary")
+            }
+            CorpusPartsError::WrongDocLen { doc } => {
+                write!(f, "stored length of doc {doc} is not the sum of its tfs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusPartsError {}
+
 impl Corpus {
     /// Number of documents.
     pub fn num_docs(&self) -> usize {
         self.docs.len()
+    }
+
+    /// The analysis pipeline (and its term dictionary) — read access for
+    /// serializers that persist the dictionary and analyzer config.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Reassembles a corpus from parts a snapshot loader decoded — the
+    /// inverse of persisting `analyzer()` + per-doc metadata + the frozen
+    /// index. Inputs are validated, not trusted: lengths must agree, the
+    /// index must be finalized over the same document count, every term
+    /// row must be strictly sorted with in-dictionary ids, and each
+    /// stored document length must equal the sum of its term frequencies
+    /// (the invariant the builder's analysis path establishes).
+    pub fn from_frozen_parts(
+        analyzer: Analyzer,
+        docs: Vec<StoredDoc>,
+        doc_terms: Vec<Vec<(TermId, u32)>>,
+        index: InvertedIndex,
+    ) -> Result<Self, CorpusPartsError> {
+        if docs.len() != doc_terms.len() {
+            return Err(CorpusPartsError::LengthMismatch {
+                docs: docs.len(),
+                doc_terms: doc_terms.len(),
+            });
+        }
+        if !index.is_finalized() || index.num_docs() as usize != docs.len() {
+            return Err(CorpusPartsError::IndexMismatch);
+        }
+        let vocab = analyzer.vocab_size();
+        for (i, (stored, row)) in docs.iter().zip(&doc_terms).enumerate() {
+            let doc = i as u32;
+            if !row.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(CorpusPartsError::UnsortedDocTerms { doc });
+            }
+            if row.last().is_some_and(|&(t, _)| t.index() >= vocab) {
+                return Err(CorpusPartsError::TermOutOfRange { doc });
+            }
+            let sum: u64 = row.iter().map(|&(_, tf)| u64::from(tf)).sum();
+            if u64::from(stored.len) != sum {
+                return Err(CorpusPartsError::WrongDocLen { doc });
+            }
+        }
+        Ok(Corpus {
+            analyzer: Arc::new(analyzer),
+            docs,
+            doc_terms,
+            index,
+        })
     }
 
     /// Vocabulary size (distinct analysed terms).

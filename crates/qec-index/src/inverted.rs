@@ -32,6 +32,94 @@ enum HybridPostings {
     Bitmap(DocBitmap),
 }
 
+/// One term's frozen document-id set as supplied to
+/// [`InvertedIndex::from_frozen_parts`] — the public mirror of the
+/// private hybrid representation, so snapshot loaders can hand back
+/// bitmaps rebuilt from persisted word slices without re-deriving them
+/// bit by bit.
+#[derive(Debug, Clone)]
+pub enum FrozenPostings {
+    /// Sorted document ids (the sparse-term representation).
+    Sorted(Vec<DocId>),
+    /// Dense document bitmap (the high-df representation).
+    Bitmap(DocBitmap),
+}
+
+/// Why [`InvertedIndex::from_frozen_parts`] rejected its inputs. Every
+/// variant names the offending term so loaders can report *where* a
+/// snapshot went bad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrozenPartsError {
+    /// `lists` and `frozen` differ in length.
+    LengthMismatch {
+        /// Number of posting lists supplied.
+        lists: usize,
+        /// Number of frozen representations supplied.
+        frozen: usize,
+    },
+    /// A posting list is not strictly increasing by document id.
+    UnsortedList {
+        /// Offending term slot.
+        term: u32,
+    },
+    /// A posting references a document `>= num_docs`.
+    DocOutOfRange {
+        /// Offending term slot.
+        term: u32,
+    },
+    /// A term's frozen doc-id set disagrees with its posting list.
+    FrozenDisagreesWithList {
+        /// Offending term slot.
+        term: u32,
+    },
+    /// A term's representation violates the density rule
+    /// (`df · 64 ≥ num_docs` ⇔ bitmap) that [`InvertedIndex::finalize`]
+    /// applies — a loaded index must be structurally identical to a
+    /// fresh-built one.
+    WrongRepresentation {
+        /// Offending term slot.
+        term: u32,
+    },
+    /// A bitmap's universe is not the document count.
+    WrongUniverse {
+        /// Offending term slot.
+        term: u32,
+    },
+}
+
+impl std::fmt::Display for FrozenPartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrozenPartsError::LengthMismatch { lists, frozen } => {
+                write!(f, "{lists} posting lists but {frozen} frozen sets")
+            }
+            FrozenPartsError::UnsortedList { term } => {
+                write!(f, "posting list of term {term} is not strictly sorted")
+            }
+            FrozenPartsError::DocOutOfRange { term } => {
+                write!(f, "term {term} references a document beyond num_docs")
+            }
+            FrozenPartsError::FrozenDisagreesWithList { term } => {
+                write!(
+                    f,
+                    "frozen doc-id set of term {term} disagrees with its postings"
+                )
+            }
+            FrozenPartsError::WrongRepresentation { term } => {
+                write!(f, "term {term} violates the density representation rule")
+            }
+            FrozenPartsError::WrongUniverse { term } => {
+                write!(
+                    f,
+                    "bitmap universe of term {term} is not the document count"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrozenPartsError {}
+
 /// Term → sorted posting list, keyed by dense [`TermId`].
 #[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
@@ -104,6 +192,73 @@ impl InvertedIndex {
     /// Whether [`Self::finalize`] has run since the last mutation.
     pub fn is_finalized(&self) -> bool {
         self.hybrid.len() == self.lists.len()
+    }
+
+    /// Reassembles a finalized index from its frozen parts — the snapshot
+    /// load path. Nothing is trusted: every list must be strictly sorted
+    /// with in-range documents, every frozen set must agree member-for-
+    /// member with its list, and each representation must be the one the
+    /// density rule in [`Self::finalize`] would have chosen, so a loaded
+    /// index is structurally indistinguishable from a fresh-built one.
+    pub fn from_frozen_parts(
+        num_docs: u32,
+        lists: Vec<Vec<Posting>>,
+        frozen: Vec<FrozenPostings>,
+    ) -> Result<Self, FrozenPartsError> {
+        if lists.len() != frozen.len() {
+            return Err(FrozenPartsError::LengthMismatch {
+                lists: lists.len(),
+                frozen: frozen.len(),
+            });
+        }
+        let n = num_docs as usize;
+        let mut total_postings = 0u64;
+        for (slot, (list, rep)) in lists.iter().zip(&frozen).enumerate() {
+            let term = slot as u32;
+            if !list.windows(2).all(|w| w[0].doc < w[1].doc) {
+                return Err(FrozenPartsError::UnsortedList { term });
+            }
+            if list.last().is_some_and(|p| p.doc.index() >= n) {
+                return Err(FrozenPartsError::DocOutOfRange { term });
+            }
+            let dense = list.len() * 64 >= n && n > 0;
+            match rep {
+                FrozenPostings::Sorted(ids) => {
+                    if dense {
+                        return Err(FrozenPartsError::WrongRepresentation { term });
+                    }
+                    if ids.len() != list.len() || !ids.iter().zip(list).all(|(&id, p)| id == p.doc)
+                    {
+                        return Err(FrozenPartsError::FrozenDisagreesWithList { term });
+                    }
+                }
+                FrozenPostings::Bitmap(b) => {
+                    if !dense {
+                        return Err(FrozenPartsError::WrongRepresentation { term });
+                    }
+                    if b.num_docs() != n {
+                        return Err(FrozenPartsError::WrongUniverse { term });
+                    }
+                    if b.len() != list.len() || !list.iter().all(|p| b.contains(p.doc)) {
+                        return Err(FrozenPartsError::FrozenDisagreesWithList { term });
+                    }
+                }
+            }
+            total_postings += list.len() as u64;
+        }
+        let hybrid = frozen
+            .into_iter()
+            .map(|rep| match rep {
+                FrozenPostings::Sorted(ids) => HybridPostings::Sorted(ids),
+                FrozenPostings::Bitmap(b) => HybridPostings::Bitmap(b),
+            })
+            .collect();
+        Ok(Self {
+            lists,
+            hybrid,
+            num_docs,
+            total_postings,
+        })
     }
 
     /// The frozen document-id set of `term` (empty sorted view for unseen

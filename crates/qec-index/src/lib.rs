@@ -23,9 +23,9 @@ pub mod postings;
 pub mod rank;
 pub mod search;
 
-pub use corpus::{Corpus, CorpusBuilder};
+pub use corpus::{Corpus, CorpusBuilder, CorpusPartsError, StoredDoc};
 pub use doc::{DocId, DocumentSpec, Feature};
-pub use inverted::{InvertedIndex, Posting};
+pub use inverted::{FrozenPartsError, FrozenPostings, InvertedIndex, Posting};
 pub use postings::{intersect_sorted_into, DocBitmap, PostingsView};
 pub use rank::{rank_and_query, Hit, TfIdfRanker};
 pub use search::{QuerySemantics, SearchScratch, Searcher};

@@ -12,7 +12,7 @@ use crate::stopwords::StopwordList;
 use crate::token::Tokenizer;
 
 /// Configuration for [`Analyzer`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzerConfig {
     /// Apply the Porter stemmer to each token.
     pub stem: bool,
@@ -117,6 +117,12 @@ impl Analyzer {
             self.stemmer.stem_in_place(buf);
         }
         self.dict.get(buf)
+    }
+
+    /// The pipeline configuration this analyzer was built with — what a
+    /// snapshot persists so a reload reconstructs the identical pipeline.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
     }
 
     /// Shared dictionary (read access).
